@@ -1,0 +1,83 @@
+"""Engine microbenchmarks: the per-round costs that determine how far
+the simulator scales (these are true multi-round pytest benchmarks, not
+one-shot experiment regenerations)."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_classification_images
+from repro.data.synthetic import SyntheticSpec
+from repro.nn import CrossEntropyLoss, SGD, gn_lenet_cifar10, small_mlp
+from repro.nn.serialization import parameter_vector, set_parameter_vector
+
+SPEC = SyntheticSpec(num_classes=10, channels=1, image_size=8,
+                     noise_std=2.0, prototype_resolution=4)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(0)
+    ds, _ = make_classification_images(SPEC, 64, rng)
+    return ds.x[:32], ds.y[:32]
+
+
+def test_local_sgd_step_small_mlp(benchmark, batch):
+    """One local training step of the bench model (forward+backward+update)."""
+    model = small_mlp(64, 10, hidden=24, rng=np.random.default_rng(0))
+    loss = CrossEntropyLoss()
+    opt = SGD(model.parameters(), lr=0.1)
+    x, y = batch
+
+    def step():
+        logits = model(x)
+        loss.forward(logits, y)
+        model.zero_grad()
+        model.backward(loss.backward())
+        opt.step()
+
+    benchmark(step)
+
+
+def test_local_sgd_step_paper_cnn(benchmark):
+    """One local step of the paper's 89 834-param GN-LeNet on a real
+    32-sample CIFAR-shaped batch — the paper-scale per-step cost."""
+    rng = np.random.default_rng(0)
+    model = gn_lenet_cifar10(rng=rng)
+    loss = CrossEntropyLoss()
+    opt = SGD(model.parameters(), lr=0.1)
+    x = rng.normal(size=(32, 3, 32, 32))
+    y = rng.integers(0, 10, size=32)
+
+    def step():
+        logits = model(x)
+        loss.forward(logits, y)
+        model.zero_grad()
+        model.backward(loss.backward())
+        opt.step()
+
+    benchmark(step)
+
+
+def test_parameter_vector_roundtrip(benchmark):
+    """Serialize + deserialize the paper CNN's parameters — the per-node
+    cost of entering/leaving the shared state matrix each round."""
+    model = gn_lenet_cifar10(rng=np.random.default_rng(0))
+    buf = np.empty(model.num_parameters())
+
+    def roundtrip():
+        parameter_vector(model, out=buf)
+        set_parameter_vector(model, buf)
+
+    benchmark(roundtrip)
+
+
+def test_evaluation_throughput(benchmark, batch):
+    """Accuracy evaluation of one node model on a 600-sample test set."""
+    from repro.simulation.metrics import evaluate_model_vector
+
+    rng = np.random.default_rng(0)
+    model = small_mlp(64, 10, hidden=24, rng=rng)
+    ds, _ = make_classification_images(SPEC, 600, rng)
+    vec = parameter_vector(model)
+
+    benchmark(lambda: evaluate_model_vector(model, vec, ds))

@@ -1,0 +1,39 @@
+"""§5.1 bias bench: measure the device-capacity bias the paper flags as
+future work.
+
+Shapes checked:
+
+* SkipTrain (unconstrained) has perfectly equal participation
+  (Gini = 0); SkipTrain-constrained concentrates participation on
+  high-budget devices (Gini > 0);
+* under the constrained algorithm, the highest-budget device group
+  trains the most rounds.
+"""
+
+from repro.experiments import fairness_study
+
+from .conftest import run_once
+
+
+def test_fairness_device_bias(benchmark, bench16_cifar):
+    result = run_once(benchmark, lambda: fairness_study(bench16_cifar, seed=11))
+
+    print("\n" + result.render())
+
+    assert result.gini["skiptrain"] == 0.0, (
+        "unconstrained SkipTrain trains every node equally"
+    )
+    assert result.gini["skiptrain-constrained"] > 0.05, (
+        "budget-driven skipping must concentrate participation"
+    )
+
+    constrained = result.reports["skiptrain-constrained"]
+    # the OnePlus Nord (largest budget) trains the most
+    by_rounds = dict(zip(constrained.device_names, constrained.train_rounds))
+    assert by_rounds["OnePlus Nord 2 5G"] == max(by_rounds.values())
+
+    print(f"\nGini — SkipTrain: {result.gini['skiptrain']:.3f}, "
+          f"constrained: {result.gini['skiptrain-constrained']:.3f}")
+    print(f"local-accuracy spread under constrained participation: "
+          f"{constrained.accuracy_spread() * 100:.1f} pp "
+          f"(the §5.1 fairness gap)")

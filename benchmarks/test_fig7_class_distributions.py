@@ -1,0 +1,55 @@
+"""Figure 7 bench: class distributions under the two partition schemes.
+
+Paper shape: the 2-shard CIFAR partition gives most nodes ≤2-3 labels
+(severe label skew); the writer-based FEMNIST partition gives every
+node nearly the full label set (mild label skew), which is why the
+SkipTrain-vs-D-PSGD gap is larger on CIFAR.
+"""
+
+import numpy as np
+
+from repro.data import heterogeneity_score, labels_per_node, partition_datasets
+from repro.experiments import figure7, prepare
+
+from .conftest import run_once
+
+
+def test_fig7_class_distributions(benchmark, bench16_cifar, bench16_femnist):
+    result = run_once(
+        benchmark, lambda: figure7(bench16_cifar, bench16_femnist, seed=11)
+    )
+
+    print("\n" + result.render())
+
+    shard_labels = (result.shard_matrix > 0).sum(axis=1)
+    writer_labels = (result.writer_matrix > 0).sum(axis=1)
+    print(f"\nlabels per node — shard: mean {shard_labels.mean():.1f} "
+          f"(of {result.shard_matrix.shape[1]}), "
+          f"writer: mean {writer_labels.mean():.1f} "
+          f"(of {result.writer_matrix.shape[1]})")
+
+    # severe skew for shards, mild for writers
+    assert shard_labels.mean() <= 4.0
+    assert writer_labels.mean() >= 0.75 * result.writer_matrix.shape[1]
+
+    # every sample is assigned exactly once
+    assert result.shard_matrix.sum() == bench16_cifar.num_train
+
+
+def test_fig7_heterogeneity_ordering(benchmark, bench16_cifar, bench16_femnist):
+    """Quantified version: TV-distance heterogeneity of shard ≫ writer."""
+
+    def compute():
+        shard_prep = prepare(bench16_cifar, 3, seed=11)
+        writer_prep = prepare(bench16_femnist, 3, seed=11)
+        shard = heterogeneity_score(
+            partition_datasets(shard_prep.train, shard_prep.partition)
+        )
+        writer = heterogeneity_score(
+            partition_datasets(writer_prep.train, writer_prep.partition)
+        )
+        return shard, writer
+
+    shard, writer = run_once(benchmark, compute)
+    print(f"\nheterogeneity (TV distance): shard {shard:.3f}, writer {writer:.3f}")
+    assert shard > 2 * writer

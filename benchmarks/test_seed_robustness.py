@@ -1,0 +1,41 @@
+"""Robustness bench: the headline Table 3 comparison across seeds.
+
+Single-seed wins can be luck; this bench repeats SkipTrain vs D-PSGD
+over three full re-draws (data, partition, topology, init) and checks
+the paper's claims hold in the mean: 2× energy at (4,4), accuracy gain
+positive and larger than the cross-seed noise.
+"""
+
+import pytest
+
+from repro.experiments import compare_algorithms
+
+from .conftest import run_once
+
+SEEDS = (11, 12, 13)
+
+
+def test_table3_robust_across_seeds(benchmark, bench16_cifar):
+    result = run_once(
+        benchmark,
+        lambda: compare_algorithms(
+            bench16_cifar, ("skiptrain", "d-psgd"), seeds=SEEDS
+        ),
+    )
+
+    print("\n" + result.render())
+
+    skip = result.cells["skiptrain"]
+    dpsgd = result.cells["d-psgd"]
+    gain = (skip.mean_accuracy - dpsgd.mean_accuracy) * 100
+    ratio = dpsgd.mean_energy_wh / skip.mean_energy_wh
+    print(f"\nmean accuracy gain: {gain:+.1f} pp over {len(SEEDS)} seeds "
+          f"(σ_skip = {skip.std_accuracy * 100:.1f}, "
+          f"σ_dpsgd = {dpsgd.std_accuracy * 100:.1f})")
+    print(f"mean energy ratio: {ratio:.2f}x")
+
+    assert ratio == pytest.approx(2.0, rel=0.02)
+    assert skip.mean_accuracy > dpsgd.mean_accuracy
+    assert result.significant_gap("skiptrain", "d-psgd"), (
+        "the SkipTrain advantage should exceed cross-seed noise"
+    )

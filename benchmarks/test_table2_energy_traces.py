@@ -1,0 +1,60 @@
+"""Table 2 bench: regenerate the energy traces and check them against
+the paper's published values, plus the §1 training≫communication claim."""
+
+import pytest
+
+from repro.energy import (
+    CIFAR10_WORKLOAD,
+    assign_devices_round_robin,
+    communication_energy_wh,
+    per_round_energy_wh,
+    table2_rows,
+)
+from repro.experiments import table2
+
+from .conftest import run_once
+
+PAPER_TABLE2 = {
+    "Xiaomi 12 Pro": (6.5, 22, 272, 413),
+    "Samsung Galaxy S22 Ultra": (6, 20, 324, 492),
+    "OnePlus Nord 2 5G": (2.6, 8.4, 681, 1034),
+    "Xiaomi Poco X3": (8.5, 28, 272, 413),
+}
+
+
+def test_table2_energy_traces(benchmark):
+    rows = run_once(benchmark, table2_rows)
+
+    print("\n" + table2())
+    print("\npaper vs measured (mWh CIFAR / mWh FEMNIST / rounds CIFAR / rounds FEMNIST):")
+    for r in rows:
+        p = PAPER_TABLE2[r.device]
+        print(f"  {r.device:26s} paper {p} | measured "
+              f"({r.cifar10_mwh:.1f}, {r.femnist_mwh:.1f}, "
+              f"{r.cifar10_rounds}, {r.femnist_rounds})")
+
+    for r in rows:
+        mwh_c, mwh_f, rounds_c, rounds_f = PAPER_TABLE2[r.device]
+        assert r.cifar10_mwh == pytest.approx(mwh_c, rel=0.01)
+        assert r.femnist_mwh == pytest.approx(mwh_f, rel=0.05)
+        assert r.cifar10_rounds == rounds_c
+        assert r.femnist_rounds == rounds_f
+
+
+def test_section1_energy_claim(benchmark):
+    """§1: 256 CIFAR nodes × 1000 rounds ⇒ 1.51 kWh training, ~7 Wh comm."""
+
+    def compute():
+        devs = assign_devices_round_robin(256)
+        train = sum(per_round_energy_wh(d, CIFAR10_WORKLOAD) for d in devs) * 1000
+        comm = sum(
+            communication_energy_wh(d, CIFAR10_WORKLOAD, 6) for d in devs
+        ) * 1000
+        return train, comm
+
+    train, comm = run_once(benchmark, compute)
+    print(f"\ntraining: {train / 1000:.3f} kWh (paper: 1.51 kWh)")
+    print(f"communication: {comm:.1f} Wh (paper: ≈7 Wh)")
+    print(f"ratio: {train / comm:.0f}x (paper: >200x)")
+    assert train == pytest.approx(1510, rel=0.01)
+    assert train / comm > 200

@@ -1,0 +1,6 @@
+"""Setuptools shim for legacy editable installs (offline environment
+without the ``wheel`` package; see pyproject.toml for metadata)."""
+
+from setuptools import setup
+
+setup()

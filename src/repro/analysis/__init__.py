@@ -1,0 +1,19 @@
+"""``repro.analysis`` — trajectory diagnostics and Pareto analysis."""
+
+from .diagnostics import (
+    accuracy_auc,
+    empirical_contraction_rate,
+    energy_to_accuracy,
+    rounds_to_accuracy,
+)
+from .pareto import ParetoPoint, frontier_from_grid, pareto_frontier
+
+__all__ = [
+    "rounds_to_accuracy",
+    "energy_to_accuracy",
+    "accuracy_auc",
+    "empirical_contraction_rate",
+    "ParetoPoint",
+    "pareto_frontier",
+    "frontier_from_grid",
+]

@@ -1,0 +1,70 @@
+"""Run-trajectory diagnostics.
+
+Quantities DL theory cares about, extracted from recorded run
+histories: rounds/energy to reach a target accuracy, empirical
+contraction rates, and area-under-curve summaries used to compare
+algorithms beyond their final point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulation.metrics import RunHistory
+
+__all__ = [
+    "rounds_to_accuracy",
+    "energy_to_accuracy",
+    "accuracy_auc",
+    "empirical_contraction_rate",
+]
+
+
+def rounds_to_accuracy(history: RunHistory, target: float) -> int | None:
+    """First evaluated round whose mean accuracy reaches ``target``
+    (None if never reached) — the time-to-accuracy metric of the FL
+    systems literature."""
+    if not 0.0 < target <= 1.0:
+        raise ValueError("target must be in (0, 1]")
+    for record in history.records:
+        if record.mean_accuracy >= target:
+            return record.round
+    return None
+
+
+def energy_to_accuracy(history: RunHistory, target: float) -> float | None:
+    """Cumulative energy (Wh) at the first evaluation reaching
+    ``target`` accuracy (None if never reached)."""
+    if not 0.0 < target <= 1.0:
+        raise ValueError("target must be in (0, 1]")
+    for record in history.records:
+        if record.mean_accuracy >= target:
+            return record.cumulative_energy_wh
+    return None
+
+
+def accuracy_auc(history: RunHistory) -> float:
+    """Round-normalized area under the accuracy-vs-round curve, in
+    [0, 1]. Rewards both final accuracy and early convergence."""
+    if len(history.records) < 2:
+        raise ValueError("need at least two evaluations")
+    rounds = history.rounds.astype(np.float64)
+    accs = history.mean_accuracy
+    span = rounds[-1] - rounds[0]
+    if span <= 0:
+        raise ValueError("evaluations must span more than one round")
+    return float(np.trapezoid(accs, rounds) / span)
+
+
+def empirical_contraction_rate(consensus: np.ndarray) -> float:
+    """Geometric-mean per-evaluation decay factor of the consensus
+    distance series; < 1 means the run is consensus-contracting overall
+    (sync-heavy schedules push this down)."""
+    consensus = np.asarray(consensus, dtype=np.float64)
+    if consensus.ndim != 1 or consensus.size < 2:
+        raise ValueError("need a 1-D series of at least two points")
+    if (consensus <= 0).any():
+        # exact consensus reached: perfect contraction
+        return 0.0
+    ratios = consensus[1:] / consensus[:-1]
+    return float(np.exp(np.mean(np.log(ratios))))

@@ -1,0 +1,72 @@
+"""Energy–accuracy Pareto analysis.
+
+The grid search of Fig. 3 picks one winner per topology, but the full
+grid defines an energy–accuracy *frontier*: the set of (Γ_train,
+Γ_sync) schedules not dominated by any other (less energy AND more
+accuracy). The frontier is the actionable artifact for a deployer with
+an energy target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ParetoPoint", "pareto_frontier", "frontier_from_grid"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated configuration."""
+
+    energy_wh: float
+    accuracy: float
+    label: str
+
+
+def pareto_frontier(
+    energy: np.ndarray, accuracy: np.ndarray, labels: list[str]
+) -> list[ParetoPoint]:
+    """Non-dominated subset of (energy, accuracy) points, sorted by
+    energy. Point i dominates j if it costs no more energy and achieves
+    at least the accuracy, strictly better in one of the two."""
+    energy = np.asarray(energy, dtype=np.float64).ravel()
+    accuracy = np.asarray(accuracy, dtype=np.float64).ravel()
+    if not (energy.size == accuracy.size == len(labels)):
+        raise ValueError("energy, accuracy and labels must align")
+    if energy.size == 0:
+        return []
+    keep = []
+    for i in range(energy.size):
+        dominated = False
+        for j in range(energy.size):
+            if j == i:
+                continue
+            if (
+                energy[j] <= energy[i]
+                and accuracy[j] >= accuracy[i]
+                and (energy[j] < energy[i] or accuracy[j] > accuracy[i])
+            ):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    points = [
+        ParetoPoint(float(energy[i]), float(accuracy[i]), labels[i])
+        for i in keep
+    ]
+    return sorted(points, key=lambda p: (p.energy_wh, -p.accuracy))
+
+
+def frontier_from_grid(grid_result) -> list[ParetoPoint]:
+    """Pareto frontier of a :class:`~repro.experiments.gridsearch.
+    GridSearchResult`: every (Γ_train, Γ_sync) cell becomes a candidate
+    point."""
+    energy, accuracy, labels = [], [], []
+    for i, gs in enumerate(grid_result.sync_values):
+        for j, gt in enumerate(grid_result.train_values):
+            energy.append(grid_result.energy_wh[i, j])
+            accuracy.append(grid_result.accuracy[i, j])
+            labels.append(f"Γt={gt},Γs={gs}")
+    return pareto_frontier(np.array(energy), np.array(accuracy), labels)

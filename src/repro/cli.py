@@ -1,0 +1,225 @@
+"""Command-line interface: run experiments and regenerate paper
+tables/figures without writing Python.
+
+Usage examples::
+
+    python -m repro table 1
+    python -m repro table 2
+    python -m repro run --preset cifar10-bench --algorithm skiptrain --degree 3
+    python -m repro figure 1 --preset cifar10-bench
+    python -m repro gridsearch --preset cifar10-bench --degree 3 --rounds 64
+    python -m repro presets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SkipTrain (IPDPS 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_presets = sub.add_parser("presets", help="list experiment presets")
+
+    p_run = sub.add_parser("run", help="run one algorithm on one preset")
+    p_run.add_argument("--preset", default="cifar10-bench")
+    p_run.add_argument(
+        "--algorithm",
+        default="skiptrain",
+        choices=["d-psgd", "d-psgd-allreduce", "skiptrain",
+                 "skiptrain-constrained", "greedy"],
+    )
+    p_run.add_argument("--degree", type=int, default=None)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--rounds", type=int, default=None,
+                       help="override the preset's total rounds")
+    p_run.add_argument("--gamma-train", type=int, default=None)
+    p_run.add_argument("--gamma-sync", type=int, default=None)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("number", type=int, choices=[1, 2, 3, 4])
+    p_table.add_argument("--preset", default="cifar10-bench")
+    p_table.add_argument("--seed", type=int, default=0)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", type=int, choices=[1, 4, 7])
+    p_fig.add_argument("--preset", default="cifar10-bench")
+    p_fig.add_argument("--femnist-preset", default="femnist-bench",
+                       help="second preset for figure 7")
+    p_fig.add_argument("--seed", type=int, default=0)
+
+    p_grid = sub.add_parser("gridsearch",
+                            help="Γ_train × Γ_sync grid search (figure 3)")
+    p_grid.add_argument("--preset", default="cifar10-bench")
+    p_grid.add_argument("--degree", type=int, default=None)
+    p_grid.add_argument("--rounds", type=int, default=None)
+    p_grid.add_argument("--seed", type=int, default=0)
+    p_grid.add_argument("--max-gamma", type=int, default=4)
+
+    p_fair = sub.add_parser("fairness",
+                            help="§5.1 participation-bias study")
+    p_fair.add_argument("--preset", default="cifar10-bench")
+    p_fair.add_argument("--degree", type=int, default=None)
+    p_fair.add_argument("--seed", type=int, default=0)
+
+    p_sweep = sub.add_parser("sweep",
+                             help="multi-seed algorithm comparison")
+    p_sweep.add_argument("--preset", default="cifar10-bench")
+    p_sweep.add_argument("--degree", type=int, default=None)
+    p_sweep.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    p_sweep.add_argument(
+        "--algorithms", nargs="+", default=["skiptrain", "d-psgd"],
+    )
+
+    p_conv = sub.add_parser("convergence",
+                            help="consensus-distance mechanism study")
+    p_conv.add_argument("--preset", default="cifar10-bench")
+    p_conv.add_argument("--degree", type=int, default=None)
+    p_conv.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_presets() -> int:
+    from .experiments.presets import PRESETS, get_preset
+
+    for name in sorted(PRESETS):
+        preset = get_preset(name)
+        print(f"{name:16s} n={preset.n_nodes:<4d} degrees={preset.degrees} "
+              f"T={preset.total_rounds} partition={preset.partition}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .core.schedule import RoundSchedule
+    from .experiments import get_preset, prepare, run_algorithm
+
+    preset = get_preset(args.preset)
+    degree = args.degree if args.degree is not None else preset.degrees[0]
+    schedule = None
+    if args.gamma_train is not None or args.gamma_sync is not None:
+        if args.gamma_train is None or args.gamma_sync is None:
+            print("error: provide both --gamma-train and --gamma-sync",
+                  file=sys.stderr)
+            return 2
+        schedule = RoundSchedule(args.gamma_train, args.gamma_sync)
+
+    prepared = prepare(preset, degree, seed=args.seed)
+    result = run_algorithm(prepared, args.algorithm, schedule=schedule,
+                           total_rounds=args.rounds)
+    print(f"preset={preset.name} degree={degree} algorithm={args.algorithm}")
+    for record in result.history.records:
+        print(f"round {record.round:5d}: "
+              f"accuracy {record.mean_accuracy * 100:6.2f}% "
+              f"(±{record.std_accuracy * 100:5.2f}) "
+              f"energy {record.cumulative_energy_wh:8.2f} Wh")
+    print(f"total training energy: {result.meter.total_train_wh:.2f} Wh, "
+          f"communication: {result.meter.total_comm_wh:.4f} Wh")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from .experiments import get_preset, table1, table2, table3, table4
+
+    if args.number == 1:
+        print(table1())
+    elif args.number == 2:
+        print(table2())
+    elif args.number == 3:
+        print(table3(get_preset(args.preset), seed=args.seed).render())
+    else:
+        print(table4(get_preset(args.preset), seed=args.seed).render())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import figure1, figure4, figure7, get_preset
+
+    preset = get_preset(args.preset)
+    if args.number == 1:
+        result = figure1(preset, seed=args.seed)
+        print(result.render())
+        print(f"\nall-reduce improvement: {result.improvement() * 100:+.1f} pp")
+    elif args.number == 4:
+        result = figure4(preset, seed=args.seed)
+        print(result.render())
+        print(f"\nsync-vs-train contrast: "
+              f"{result.oscillation_contrast() * 100:+.1f} pp")
+    else:
+        result = figure7(preset, get_preset(args.femnist_preset),
+                         seed=args.seed)
+        print(result.render())
+    return 0
+
+
+def _cmd_gridsearch(args: argparse.Namespace) -> int:
+    from .experiments import get_preset, grid_search
+
+    preset = get_preset(args.preset)
+    degree = args.degree if args.degree is not None else preset.degrees[0]
+    gammas = tuple(range(1, args.max_gamma + 1))
+    result = grid_search(preset, degree, train_values=gammas,
+                         sync_values=gammas, seed=args.seed,
+                         total_rounds=args.rounds)
+    print(result.render())
+    gt, gs = result.best()
+    print(f"\nbest: Γtrain={gt}, Γsync={gs}")
+    return 0
+
+
+def _cmd_fairness(args: argparse.Namespace) -> int:
+    from .experiments import fairness_study, get_preset
+
+    result = fairness_study(get_preset(args.preset), degree=args.degree,
+                            seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import compare_algorithms, get_preset
+
+    result = compare_algorithms(
+        get_preset(args.preset), tuple(args.algorithms), tuple(args.seeds),
+        degree=args.degree,
+    )
+    print(result.render())
+    return 0
+
+
+def _cmd_convergence(args: argparse.Namespace) -> int:
+    from .experiments import convergence_study, get_preset
+
+    result = convergence_study(get_preset(args.preset), degree=args.degree,
+                               seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "presets":
+        return _cmd_presets()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "gridsearch":
+        return _cmd_gridsearch(args)
+    if args.command == "fairness":
+        return _cmd_fairness(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "convergence":
+        return _cmd_convergence(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,56 @@
+"""Algorithm interface consumed by the simulation engine.
+
+A decentralized-learning algorithm, in this codebase, is exactly the
+policy that decides *which nodes run local training in which round*;
+sharing + aggregation happens every round for every algorithm (that is
+the structure shared by D-PSGD, SkipTrain, SkipTrain-constrained and
+Greedy — they differ only in the training mask and, for Fig. 1's
+all-reduce variant, in the aggregation operator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Algorithm"]
+
+
+class Algorithm:
+    """Base class: per-round training-participation policy.
+
+    Subclasses implement :meth:`train_mask`; the engine calls it once
+    per round with the 1-based round index and applies local SGD to the
+    selected nodes before the mixing step.
+    """
+
+    #: human-readable name used in reports
+    name: str = "algorithm"
+
+    #: if True the engine replaces the mixing matrix with an exact
+    #: all-reduce (global average) each round — Fig. 1's hypothetical.
+    use_allreduce: bool = False
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        self.n_nodes = n_nodes
+
+    def train_mask(self, t: int) -> np.ndarray:
+        """Boolean mask, shape ``(n_nodes,)``: who trains in round ``t``.
+
+        Called exactly once per round in increasing ``t`` order;
+        stateful subclasses (budget tracking) rely on that contract.
+        """
+        raise NotImplementedError
+
+    def is_eval_point(self, t: int) -> bool:
+        """Whether round ``t`` is a fair evaluation point.
+
+        The paper evaluates every Γ_train + Γ_sync rounds — at cycle
+        ends, after the sync phase. Schedule-free algorithms accept any
+        round.
+        """
+        return True
+
+    def reset(self) -> None:
+        """Restore initial state so the same instance can be re-run."""

@@ -1,0 +1,60 @@
+"""Training probabilities and budget state (§3.2, Eq. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schedule import RoundSchedule
+
+__all__ = ["training_probabilities", "BudgetState"]
+
+
+def training_probabilities(
+    budgets: np.ndarray, schedule: RoundSchedule, total_rounds: int
+) -> np.ndarray:
+    """Eq. 5: ``p_i = min(τ_i / T_train, 1)`` per node.
+
+    A node whose budget covers every coordinated training round gets
+    probability one and behaves exactly like unconstrained SkipTrain.
+    """
+    budgets = np.asarray(budgets, dtype=np.float64)
+    if (budgets < 0).any():
+        raise ValueError("budgets must be non-negative")
+    t_train = schedule.max_training_rounds(total_rounds)
+    if t_train == 0:
+        return np.zeros_like(budgets)
+    return np.minimum(budgets / t_train, 1.0)
+
+
+class BudgetState:
+    """Mutable per-node remaining-training-rounds counters (τᵢᵗ in
+    Algorithm 2). ``spend`` decrements the counters of nodes that
+    trained this round."""
+
+    def __init__(self, budgets: np.ndarray) -> None:
+        budgets = np.asarray(budgets, dtype=np.int64)
+        if (budgets < 0).any():
+            raise ValueError("budgets must be non-negative")
+        self.initial = budgets.copy()
+        self.remaining = budgets.copy()
+
+    @property
+    def n_nodes(self) -> int:
+        return self.remaining.shape[0]
+
+    def can_train(self) -> np.ndarray:
+        """Boolean mask of nodes with budget left (Line 5's τᵗ > 0)."""
+        return self.remaining > 0
+
+    def spend(self, trained: np.ndarray) -> None:
+        """Decrement budgets of nodes in the boolean mask ``trained``."""
+        trained = np.asarray(trained, dtype=bool)
+        if trained.shape != self.remaining.shape:
+            raise ValueError("mask shape mismatch")
+        if (self.remaining[trained] <= 0).any():
+            raise RuntimeError("a node trained past its budget")
+        self.remaining[trained] -= 1
+
+    def spent(self) -> np.ndarray:
+        """Training rounds consumed so far per node."""
+        return self.initial - self.remaining

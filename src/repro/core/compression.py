@@ -1,0 +1,141 @@
+"""Communication compression for model exchange.
+
+The paper's related work (§6) discusses sparsification as the main
+communication-side energy lever in DL (Sparse-Push, Hashemi et al.).
+This module provides the standard compressors so SkipTrain's round-
+skipping can be *combined* with payload compression — the two savings
+are orthogonal: skipping removes training energy, compression shrinks
+the (already small) communication energy and enables tighter bandwidth
+budgets.
+
+A compressor maps a flat parameter vector to a transport version of the
+same shape plus the number of bytes a real implementation would move.
+The engine applies it to everything a node sends; the node's own
+contribution to its average stays exact (as in deployed sparsified
+gossip, where your own weights never cross the network).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Compressor",
+    "IdentityCompressor",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "QuantizationCompressor",
+]
+
+
+class Compressor:
+    """Interface: lossy transport encoding of a parameter vector."""
+
+    name: str = "compressor"
+
+    def compress(self, vec: np.ndarray) -> tuple[np.ndarray, int]:
+        """Return ``(transport_vector, payload_bytes)``.
+
+        ``transport_vector`` has the same shape as ``vec`` (already
+        decompressed back to dense form); ``payload_bytes`` is what the
+        encoded message would cost on the wire.
+        """
+        raise NotImplementedError
+
+    def ratio(self, dim: int) -> float:
+        """Payload bytes relative to the uncompressed float64 vector."""
+        probe = np.zeros(dim)
+        _, nbytes = self.compress(probe)
+        return nbytes / (8 * dim)
+
+
+class IdentityCompressor(Compressor):
+    """No-op baseline: full-precision payload."""
+
+    name = "identity"
+
+    def compress(self, vec: np.ndarray) -> tuple[np.ndarray, int]:
+        return vec, vec.size * 8
+
+
+class TopKCompressor(Compressor):
+    """Keep the k largest-magnitude coordinates, zero the rest.
+
+    Payload: k values (8 B) + k int32 indices (4 B).
+    """
+
+    name = "top-k"
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = fraction
+
+    def compress(self, vec: np.ndarray) -> tuple[np.ndarray, int]:
+        k = max(1, int(round(self.fraction * vec.size)))
+        if k >= vec.size:
+            return vec, vec.size * 8
+        out = np.zeros_like(vec)
+        idx = np.argpartition(np.abs(vec), -k)[-k:]
+        out[idx] = vec[idx]
+        return out, k * 12
+
+    def ratio(self, dim: int) -> float:
+        k = max(1, int(round(self.fraction * dim)))
+        if k >= dim:
+            return 1.0
+        return (k * 12) / (8 * dim)
+
+
+class RandomKCompressor(Compressor):
+    """Keep k uniformly random coordinates, rescaled by dim/k so the
+    compression is unbiased (E[compressed] = vec)."""
+
+    name = "random-k"
+
+    def __init__(self, fraction: float, rng: np.random.Generator) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = fraction
+        self.rng = rng
+
+    def compress(self, vec: np.ndarray) -> tuple[np.ndarray, int]:
+        k = max(1, int(round(self.fraction * vec.size)))
+        if k >= vec.size:
+            return vec, vec.size * 8
+        out = np.zeros_like(vec)
+        idx = self.rng.choice(vec.size, size=k, replace=False)
+        out[idx] = vec[idx] * (vec.size / k)
+        return out, k * 12
+
+
+class QuantizationCompressor(Compressor):
+    """Uniform stochastic quantization to ``bits`` bits per value.
+
+    Values are scaled into the per-vector [min, max] range and rounded
+    stochastically, which keeps the quantizer unbiased.
+    """
+
+    name = "quantize"
+
+    def __init__(self, bits: int, rng: np.random.Generator) -> None:
+        if not 1 <= bits <= 16:
+            raise ValueError("bits must be in [1, 16]")
+        self.bits = bits
+        self.rng = rng
+
+    def compress(self, vec: np.ndarray) -> tuple[np.ndarray, int]:
+        lo, hi = float(vec.min()), float(vec.max())
+        nbytes = (vec.size * self.bits + 7) // 8 + 16  # payload + 2 floats
+        if hi == lo:
+            return vec.copy(), nbytes
+        levels = (1 << self.bits) - 1
+        scaled = (vec - lo) / (hi - lo) * levels
+        floor = np.floor(scaled)
+        frac = scaled - floor
+        quantized = floor + (self.rng.random(vec.shape) < frac)
+        out = lo + quantized / levels * (hi - lo)
+        return out, nbytes
+
+    def ratio(self, dim: int) -> float:
+        return ((dim * self.bits + 7) // 8 + 16) / (8 * dim)

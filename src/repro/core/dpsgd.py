@@ -1,0 +1,27 @@
+"""D-PSGD (Lian et al. 2017): the conventional baseline, Algorithm 1."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Algorithm
+
+__all__ = ["DPSGD", "AllReduceDPSGD"]
+
+
+class DPSGD(Algorithm):
+    """Every node trains in every round (one-training-one-sharing)."""
+
+    name = "D-PSGD"
+
+    def train_mask(self, t: int) -> np.ndarray:
+        return np.ones(self.n_nodes, dtype=bool)
+
+
+class AllReduceDPSGD(DPSGD):
+    """D-PSGD with an exact all-reduce after every round: the
+    hypothetical upper bound of Fig. 1. Training behaviour is identical
+    to D-PSGD; only the aggregation operator changes."""
+
+    name = "D-PSGD + all-reduce"
+    use_allreduce = True

@@ -1,0 +1,34 @@
+"""Greedy baseline (§3.2): burn the budget up front, then sync-only."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Algorithm
+from .budget import BudgetState
+
+__all__ = ["Greedy"]
+
+
+class Greedy(Algorithm):
+    """Node ``i`` trains in every round ``t ≤ τ_i`` and afterwards only
+    synchronizes — the front-loaded strawman SkipTrain-constrained is
+    compared against in Fig. 6 / Table 4."""
+
+    name = "Greedy"
+
+    def __init__(self, n_nodes: int, budgets: np.ndarray) -> None:
+        super().__init__(n_nodes)
+        budgets = np.asarray(budgets)
+        if budgets.shape != (n_nodes,):
+            raise ValueError(f"budgets must have shape ({n_nodes},)")
+        self._budgets = budgets
+        self.state = BudgetState(budgets)
+
+    def train_mask(self, t: int) -> np.ndarray:
+        mask = self.state.can_train()
+        self.state.spend(mask)
+        return mask
+
+    def reset(self) -> None:
+        self.state = BudgetState(self._budgets)

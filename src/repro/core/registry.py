@@ -1,0 +1,55 @@
+"""Name → algorithm-factory registry, for config-driven experiments."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .base import Algorithm
+
+__all__ = ["register", "create", "available"]
+
+_REGISTRY: dict[str, Callable[..., Algorithm]] = {}
+
+
+def register(name: str) -> Callable[[Callable[..., Algorithm]], Callable[..., Algorithm]]:
+    """Decorator registering an algorithm factory under ``name``."""
+
+    def deco(factory: Callable[..., Algorithm]) -> Callable[..., Algorithm]:
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ValueError(f"algorithm {name!r} already registered")
+        _REGISTRY[key] = factory
+        return factory
+
+    return deco
+
+
+def create(name: str, **kwargs: Any) -> Algorithm:
+    """Instantiate a registered algorithm by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown algorithm {name!r}; available: {available()}")
+    return _REGISTRY[key](**kwargs)
+
+
+def available() -> list[str]:
+    """Sorted registered algorithm names."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    # imported here to avoid a circular import at package-init time
+    from .dpsgd import DPSGD, AllReduceDPSGD
+    from .greedy import Greedy
+    from .sampling import ClientSamplingDPSGD
+    from .skiptrain import SkipTrain, SkipTrainConstrained
+
+    register("d-psgd")(DPSGD)
+    register("d-psgd-allreduce")(AllReduceDPSGD)
+    register("skiptrain")(SkipTrain)
+    register("skiptrain-constrained")(SkipTrainConstrained)
+    register("greedy")(Greedy)
+    register("client-sampling")(ClientSamplingDPSGD)
+
+
+_register_builtins()

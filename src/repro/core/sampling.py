@@ -1,0 +1,44 @@
+"""Client-sampling D-PSGD (related work: Liu et al. 2022).
+
+A partial-participation baseline where a random subset of nodes trains
+each round (everyone still shares and aggregates). At the same expected
+training volume as SkipTrain this isolates the value of *coordinating*
+the silence: client sampling never produces a fully training-silent
+round, so consecutive-mixing contraction is lost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Algorithm
+
+__all__ = ["ClientSamplingDPSGD"]
+
+
+class ClientSamplingDPSGD(Algorithm):
+    """Each round, a uniformly random subset of ``k`` nodes trains."""
+
+    name = "client-sampling D-PSGD"
+
+    def __init__(
+        self, n_nodes: int, sample_size: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__(n_nodes)
+        if not 1 <= sample_size <= n_nodes:
+            raise ValueError(
+                f"sample_size must be in [1, {n_nodes}], got {sample_size}"
+            )
+        self.sample_size = sample_size
+        self.rng = rng
+
+    def train_mask(self, t: int) -> np.ndarray:
+        mask = np.zeros(self.n_nodes, dtype=bool)
+        chosen = self.rng.choice(self.n_nodes, size=self.sample_size,
+                                 replace=False)
+        mask[chosen] = True
+        return mask
+
+    def training_fraction(self) -> float:
+        """Expected fraction of node-rounds that train."""
+        return self.sample_size / self.n_nodes

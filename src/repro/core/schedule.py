@@ -1,0 +1,72 @@
+"""Round schedules: the Γ_train / Γ_sync alternation at the heart of
+SkipTrain (§3.1, Eq. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RoundSchedule", "DPSGD_SCHEDULE"]
+
+
+@dataclass(frozen=True)
+class RoundSchedule:
+    """Alternating pattern of Γ_train training rounds then Γ_sync
+    synchronization rounds.
+
+    Rounds are numbered 1..T as in Algorithm 2 of the paper; round ``t``
+    is a *coordinated training round* iff ``t mod (Γ_train + Γ_sync) <
+    Γ_train`` (the paper's Line 5 test, reproduced literally — note this
+    makes round ``period`` itself a training round when Γ_train > 0
+    because ``period mod period == 0``).
+    """
+
+    gamma_train: int
+    gamma_sync: int
+
+    def __post_init__(self) -> None:
+        if self.gamma_train < 0 or self.gamma_sync < 0:
+            raise ValueError("gamma values must be non-negative")
+        if self.gamma_train + self.gamma_sync == 0:
+            raise ValueError("schedule period must be positive")
+
+    @property
+    def period(self) -> int:
+        return self.gamma_train + self.gamma_sync
+
+    def is_training_round(self, t: int) -> bool:
+        """Whether round ``t`` (1-based) is a coordinated training round."""
+        if t < 1:
+            raise ValueError("rounds are numbered from 1")
+        if self.gamma_train == 0:
+            return False
+        return (t % self.period) < self.gamma_train
+
+    def is_cycle_end(self, t: int) -> bool:
+        """Whether round ``t`` closes a Γ_train+Γ_sync cycle, i.e. the
+        next round starts a new training batch. These are the points
+        where the paper evaluates ("every Γ_train + Γ_sync rounds") —
+        right after the sync phase, where Fig. 4 shows accuracy peaks.
+        Every round is a cycle end when Γ_sync = 0 (D-PSGD)."""
+        if self.gamma_sync == 0:
+            return True
+        return not self.is_training_round(t) and self.is_training_round(t + 1)
+
+    def training_rounds(self, total_rounds: int) -> int:
+        """Exact count of coordinated training rounds in ``1..T``."""
+        return sum(self.is_training_round(t) for t in range(1, total_rounds + 1))
+
+    def max_training_rounds(self, total_rounds: int) -> int:
+        """Eq. 4: T_train = T · Γ_train / (Γ_train + Γ_sync).
+
+        The paper's closed form; may differ from :meth:`training_rounds`
+        by at most one period's worth of rounding.
+        """
+        return int(round(total_rounds * self.gamma_train / self.period))
+
+    def training_fraction(self) -> float:
+        """Asymptotic fraction of rounds that train."""
+        return self.gamma_train / self.period
+
+
+#: D-PSGD trains every round: Γ_train = 1, Γ_sync = 0.
+DPSGD_SCHEDULE = RoundSchedule(gamma_train=1, gamma_sync=0)

@@ -1,0 +1,83 @@
+"""SkipTrain and SkipTrain-constrained (Algorithm 2 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Algorithm
+from .budget import BudgetState, training_probabilities
+from .schedule import RoundSchedule
+
+__all__ = ["SkipTrain", "SkipTrainConstrained"]
+
+
+class SkipTrain(Algorithm):
+    """Coordinated Γ_train/Γ_sync alternation, no energy budgets.
+
+    In a coordinated training round every node trains; in a
+    synchronization round nobody does (share + aggregate only).
+    """
+
+    name = "SkipTrain"
+
+    def __init__(self, n_nodes: int, schedule: RoundSchedule) -> None:
+        super().__init__(n_nodes)
+        if schedule.gamma_train == 0:
+            raise ValueError("SkipTrain needs at least one training round per period")
+        self.schedule = schedule
+
+    def train_mask(self, t: int) -> np.ndarray:
+        train = self.schedule.is_training_round(t)
+        return np.full(self.n_nodes, train, dtype=bool)
+
+    def is_eval_point(self, t: int) -> bool:
+        return self.schedule.is_cycle_end(t)
+
+
+class SkipTrainConstrained(Algorithm):
+    """SkipTrain with per-node energy budgets (Algorithm 2, full form).
+
+    In a coordinated training round, node ``i`` trains iff its budget
+    τᵢ is not exhausted *and* an independent coin with probability
+    ``p_i = min(τ_i / T_train, 1)`` (Eq. 5) comes up heads. Setting all
+    budgets ≥ T_train recovers unconstrained SkipTrain exactly.
+    """
+
+    name = "SkipTrain-constrained"
+
+    def __init__(
+        self,
+        n_nodes: int,
+        schedule: RoundSchedule,
+        budgets: np.ndarray,
+        total_rounds: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(n_nodes)
+        if schedule.gamma_train == 0:
+            raise ValueError("schedule needs at least one training round per period")
+        budgets = np.asarray(budgets)
+        if budgets.shape != (n_nodes,):
+            raise ValueError(f"budgets must have shape ({n_nodes},)")
+        if total_rounds <= 0:
+            raise ValueError("total_rounds must be positive")
+        self.schedule = schedule
+        self.total_rounds = total_rounds
+        self.rng = rng
+        self.probabilities = training_probabilities(budgets, schedule, total_rounds)
+        self._budgets = budgets
+        self.state = BudgetState(budgets)
+
+    def train_mask(self, t: int) -> np.ndarray:
+        if not self.schedule.is_training_round(t):
+            return np.zeros(self.n_nodes, dtype=bool)
+        coins = self.rng.random(self.n_nodes) <= self.probabilities
+        mask = coins & self.state.can_train()
+        self.state.spend(mask)
+        return mask
+
+    def is_eval_point(self, t: int) -> bool:
+        return self.schedule.is_cycle_end(t)
+
+    def reset(self) -> None:
+        self.state = BudgetState(self._budgets)

@@ -1,0 +1,48 @@
+"""Partition statistics: the quantities behind Fig. 7 of the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import ArrayDataset
+
+__all__ = [
+    "class_distribution_matrix",
+    "labels_per_node",
+    "heterogeneity_score",
+]
+
+
+def class_distribution_matrix(parts: list[ArrayDataset]) -> np.ndarray:
+    """Node × class sample-count matrix (the data of Fig. 7; dot sizes in
+    the paper are these counts)."""
+    if not parts:
+        raise ValueError("empty partition list")
+    num_classes = parts[0].num_classes
+    out = np.zeros((len(parts), num_classes), dtype=np.int64)
+    for i, ds in enumerate(parts):
+        out[i] = ds.class_counts()
+    return out
+
+
+def labels_per_node(parts: list[ArrayDataset]) -> np.ndarray:
+    """Number of distinct labels present at each node.
+
+    Under the 2-shard CIFAR partition this is ≤ ~3 for most nodes; under
+    the writer partition it approaches the full label set.
+    """
+    mat = class_distribution_matrix(parts)
+    return (mat > 0).sum(axis=1)
+
+
+def heterogeneity_score(parts: list[ArrayDataset]) -> float:
+    """Mean total-variation distance between node label distributions and
+    the global label distribution, in [0, 1]. 0 = perfectly IID."""
+    mat = class_distribution_matrix(parts).astype(np.float64)
+    node_totals = mat.sum(axis=1, keepdims=True)
+    if (node_totals == 0).any():
+        raise ValueError("a node has no samples")
+    node_dists = mat / node_totals
+    global_dist = mat.sum(axis=0) / mat.sum()
+    tv = 0.5 * np.abs(node_dists - global_dist).sum(axis=1)
+    return float(tv.mean())

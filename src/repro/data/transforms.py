@@ -1,0 +1,87 @@
+"""Feature transforms fitted on training data.
+
+Standard preprocessing for the image tasks: statistics are fitted on
+the *training* split only and applied to held-out splits — fitting on
+test data would leak. In the decentralized setting each node could only
+fit on its own shard; :func:`per_node_standardizers` provides that
+variant so the effect of local-vs-global normalization can be studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dataset import ArrayDataset
+
+__all__ = ["Standardizer", "fit_standardizer", "per_node_standardizers"]
+
+
+@dataclass(frozen=True)
+class Standardizer:
+    """Per-channel affine normalization ``(x - mean) / std``.
+
+    ``mean``/``std`` have shape ``(C,)`` for image data ``(N, C, H, W)``
+    or ``(F,)`` for flat data ``(N, F)``.
+    """
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.mean.shape != self.std.shape:
+            raise ValueError("mean and std must have the same shape")
+        if (self.std <= 0).any():
+            raise ValueError("std must be strictly positive")
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Normalized copy of ``x``."""
+        if x.ndim == 4:
+            return (x - self.mean[None, :, None, None]) / self.std[
+                None, :, None, None
+            ]
+        if x.ndim == 2:
+            return (x - self.mean[None, :]) / self.std[None, :]
+        raise ValueError(f"unsupported input ndim {x.ndim}")
+
+    def inverse(self, x: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform`."""
+        if x.ndim == 4:
+            return x * self.std[None, :, None, None] + self.mean[
+                None, :, None, None
+            ]
+        if x.ndim == 2:
+            return x * self.std[None, :] + self.mean[None, :]
+        raise ValueError(f"unsupported input ndim {x.ndim}")
+
+    def apply(self, dataset: ArrayDataset) -> ArrayDataset:
+        """New dataset with normalized features (labels shared)."""
+        return ArrayDataset(
+            self.transform(dataset.x), dataset.y, dataset.num_classes
+        )
+
+
+def fit_standardizer(dataset: ArrayDataset, eps: float = 1e-8) -> Standardizer:
+    """Fit per-channel statistics on ``dataset`` (the training split)."""
+    x = dataset.x
+    if x.ndim == 4:
+        mean = x.mean(axis=(0, 2, 3))
+        std = x.std(axis=(0, 2, 3))
+    elif x.ndim == 2:
+        mean = x.mean(axis=0)
+        std = x.std(axis=0)
+    else:
+        raise ValueError(f"unsupported input ndim {x.ndim}")
+    return Standardizer(mean=mean, std=np.maximum(std, eps))
+
+
+def per_node_standardizers(
+    parts: list[ArrayDataset], eps: float = 1e-8
+) -> list[Standardizer]:
+    """One standardizer per node, fitted on that node's shard only —
+    what a real decentralized deployment without a coordination phase
+    would have to use."""
+    if not parts:
+        raise ValueError("empty partition list")
+    return [fit_standardizer(ds, eps=eps) for ds in parts]

@@ -1,0 +1,54 @@
+"""``repro.energy`` — device profiles, energy traces and accounting."""
+
+from .accounting import EnergyMeter
+from .battery import PAPER_BATTERY_FRACTION, Table2Row, budget_rounds, table2_rows
+from .devices import (
+    ONEPLUS_NORD_2_5G,
+    PAPER_DEVICES,
+    SAMSUNG_GALAXY_S22_ULTRA,
+    XIAOMI_12_PRO,
+    XIAOMI_POCO_X3,
+    DeviceProfile,
+    device_by_name,
+)
+from .traces import (
+    CIFAR10_WORKLOAD,
+    FEDSCALE_TRAIN_MULTIPLIER,
+    FEMNIST_WORKLOAD,
+    MOBILENET_V2_PARAMS,
+    EnergyTrace,
+    WorkloadSpec,
+    assign_devices_round_robin,
+    build_trace,
+    communication_energy_wh,
+    per_round_energy_mwh,
+    per_round_energy_wh,
+    round_duration_s,
+)
+
+__all__ = [
+    "DeviceProfile",
+    "device_by_name",
+    "PAPER_DEVICES",
+    "XIAOMI_12_PRO",
+    "SAMSUNG_GALAXY_S22_ULTRA",
+    "ONEPLUS_NORD_2_5G",
+    "XIAOMI_POCO_X3",
+    "WorkloadSpec",
+    "CIFAR10_WORKLOAD",
+    "FEMNIST_WORKLOAD",
+    "MOBILENET_V2_PARAMS",
+    "FEDSCALE_TRAIN_MULTIPLIER",
+    "EnergyTrace",
+    "build_trace",
+    "assign_devices_round_robin",
+    "round_duration_s",
+    "per_round_energy_wh",
+    "per_round_energy_mwh",
+    "communication_energy_wh",
+    "EnergyMeter",
+    "budget_rounds",
+    "table2_rows",
+    "Table2Row",
+    "PAPER_BATTERY_FRACTION",
+]

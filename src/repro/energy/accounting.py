@@ -1,0 +1,95 @@
+"""Energy accounting (Eq. 2–3 of the paper).
+
+The :class:`EnergyMeter` accumulates per-node, per-round training and
+communication energy during a simulation; totals and time series feed
+the accuracy-vs-energy plots (Fig. 5/6) and the energy columns of
+Tables 3–4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .traces import EnergyTrace
+
+__all__ = ["EnergyMeter"]
+
+
+class EnergyMeter:
+    """Accumulates energy spent by each node across rounds.
+
+    One call to :meth:`record_round` per simulated round with boolean
+    masks of who trained / who communicated. All arrays are indexed by
+    node id.
+    """
+
+    def __init__(self, trace: EnergyTrace) -> None:
+        self.trace = trace
+        n = trace.n_nodes
+        self.train_wh = np.zeros(n)
+        self.comm_wh = np.zeros(n)
+        self.train_rounds = np.zeros(n, dtype=np.int64)
+        self._history_total: list[float] = []
+
+    @property
+    def n_nodes(self) -> int:
+        return self.trace.n_nodes
+
+    def record_round(
+        self,
+        trained: np.ndarray,
+        communicated: np.ndarray | None = None,
+        comm_scale: float = 1.0,
+    ) -> None:
+        """Record one round. ``trained``/``communicated`` are boolean
+        masks of shape ``(n_nodes,)``; communication defaults to all
+        nodes (every round shares and aggregates). ``comm_scale``
+        rescales the round's communication energy — payload compression
+        shrinks the wire cost proportionally."""
+        trained = np.asarray(trained, dtype=bool)
+        if trained.shape != (self.n_nodes,):
+            raise ValueError(f"trained mask must have shape ({self.n_nodes},)")
+        if communicated is None:
+            communicated = np.ones(self.n_nodes, dtype=bool)
+        else:
+            communicated = np.asarray(communicated, dtype=bool)
+            if communicated.shape != (self.n_nodes,):
+                raise ValueError(
+                    f"communicated mask must have shape ({self.n_nodes},)"
+                )
+        if comm_scale < 0:
+            raise ValueError("comm_scale must be non-negative")
+        self.train_wh += np.where(trained, self.trace.train_energy_wh, 0.0)
+        self.comm_wh += comm_scale * np.where(
+            communicated, self.trace.comm_energy_wh, 0.0
+        )
+        self.train_rounds += trained
+        self._history_total.append(self.total_wh)
+
+    @property
+    def total_train_wh(self) -> float:
+        """Total training energy across all nodes (Eq. 3)."""
+        return float(self.train_wh.sum())
+
+    @property
+    def total_comm_wh(self) -> float:
+        """Total communication energy across all nodes."""
+        return float(self.comm_wh.sum())
+
+    @property
+    def total_wh(self) -> float:
+        """Training + communication energy across all nodes."""
+        return self.total_train_wh + self.total_comm_wh
+
+    def cumulative_total_wh(self) -> np.ndarray:
+        """Total (train+comm) energy after each recorded round — the
+        x-axis of the accuracy-vs-energy plots."""
+        return np.asarray(self._history_total)
+
+    def remaining_budget_rounds(self) -> np.ndarray:
+        """τᵢ minus training rounds already spent, clipped at zero."""
+        return np.maximum(self.trace.budget_rounds - self.train_rounds, 0)
+
+    def budget_exhausted(self) -> np.ndarray:
+        """Boolean mask of nodes whose training budget is spent."""
+        return self.train_rounds >= self.trace.budget_rounds

@@ -1,0 +1,68 @@
+"""Battery budgets: τᵢ computation and Table 2's round counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .devices import DeviceProfile, PAPER_DEVICES
+from .traces import (
+    CIFAR10_WORKLOAD,
+    FEMNIST_WORKLOAD,
+    WorkloadSpec,
+    per_round_energy_mwh,
+    per_round_energy_wh,
+)
+
+__all__ = [
+    "budget_rounds",
+    "Table2Row",
+    "table2_rows",
+    "PAPER_BATTERY_FRACTION",
+]
+
+#: Battery share allotted to training in the paper's constrained setting.
+PAPER_BATTERY_FRACTION = {"CIFAR-10": 0.10, "FEMNIST": 0.50}
+
+
+def budget_rounds(
+    device: DeviceProfile, workload: WorkloadSpec, battery_fraction: float
+) -> int:
+    """τᵢ: training rounds until ``battery_fraction`` of the battery is
+    exhausted (paper §4.2)."""
+    if not 0.0 < battery_fraction <= 1.0:
+        raise ValueError("battery_fraction must be in (0, 1]")
+    per_round = per_round_energy_wh(device, workload)
+    return int(battery_fraction * device.battery_wh / per_round)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2: per-device energy and budget for both datasets."""
+
+    device: str
+    cifar10_mwh: float
+    femnist_mwh: float
+    cifar10_rounds: int
+    femnist_rounds: int
+
+
+def table2_rows(
+    devices: tuple[DeviceProfile, ...] = PAPER_DEVICES,
+) -> list[Table2Row]:
+    """Regenerate Table 2 from the trace pipeline."""
+    rows = []
+    for dev in devices:
+        rows.append(
+            Table2Row(
+                device=dev.name,
+                cifar10_mwh=per_round_energy_mwh(dev, CIFAR10_WORKLOAD),
+                femnist_mwh=per_round_energy_mwh(dev, FEMNIST_WORKLOAD),
+                cifar10_rounds=budget_rounds(
+                    dev, CIFAR10_WORKLOAD, PAPER_BATTERY_FRACTION["CIFAR-10"]
+                ),
+                femnist_rounds=budget_rounds(
+                    dev, FEMNIST_WORKLOAD, PAPER_BATTERY_FRACTION["FEMNIST"]
+                ),
+            )
+        )
+    return rows

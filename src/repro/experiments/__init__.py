@@ -1,0 +1,74 @@
+"""``repro.experiments`` — per-figure/table reproduction harness."""
+
+from .convergence_study import ConvergenceStudyResult, convergence_study
+from .sweep import SweepCell, SweepResult, compare_algorithms, seed_sweep
+from .fairness_study import FairnessStudyResult, fairness_study
+from .figures import (
+    Figure1Result,
+    Figure4Result,
+    Figure5Result,
+    Figure6Result,
+    Figure7Result,
+    figure1,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from .gridsearch import GridSearchResult, energy_grid, grid_search
+from .presets import (
+    PRESETS,
+    ExperimentPreset,
+    cifar10_bench,
+    cifar10_paper,
+    femnist_bench,
+    femnist_paper,
+    get_preset,
+)
+from .reporting import render_heatmap, render_series, render_table
+from .runner import ExperimentResult, PreparedExperiment, prepare, run_algorithm
+from .tables import Table3Result, Table4Result, table1, table2, table3, table4
+
+__all__ = [
+    "ExperimentPreset",
+    "PRESETS",
+    "get_preset",
+    "cifar10_bench",
+    "femnist_bench",
+    "cifar10_paper",
+    "femnist_paper",
+    "prepare",
+    "run_algorithm",
+    "PreparedExperiment",
+    "ExperimentResult",
+    "grid_search",
+    "energy_grid",
+    "GridSearchResult",
+    "figure1",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "Figure1Result",
+    "Figure4Result",
+    "Figure5Result",
+    "Figure6Result",
+    "Figure7Result",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "Table3Result",
+    "Table4Result",
+    "render_table",
+    "render_heatmap",
+    "render_series",
+    "fairness_study",
+    "FairnessStudyResult",
+    "convergence_study",
+    "ConvergenceStudyResult",
+    "seed_sweep",
+    "compare_algorithms",
+    "SweepCell",
+    "SweepResult",
+]

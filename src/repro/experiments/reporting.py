@@ -1,0 +1,75 @@
+"""Plain-text rendering of tables and heatmaps (the repo has no
+plotting dependency; every figure is regenerated as its underlying
+numbers plus an ASCII view)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_table", "render_heatmap", "render_series"]
+
+
+def render_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Fixed-width ASCII table. Floats are shown with 2 decimals."""
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.2f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    values: np.ndarray,
+    row_labels: list[str],
+    col_labels: list[str],
+    title: str | None = None,
+    fmt: str = "{:.1f}",
+) -> str:
+    """Numeric grid with axis labels — the text analogue of Fig. 3's
+    heatmaps. Rows are printed top-to-bottom in the given order."""
+    values = np.asarray(values)
+    if values.shape != (len(row_labels), len(col_labels)):
+        raise ValueError("values shape does not match labels")
+    cells = [[fmt.format(v) for v in row] for row in values]
+    label_w = max(len(r) for r in row_labels)
+    col_w = max(
+        max(len(c) for row in cells for c in row) if cells else 0,
+        max(len(c) for c in col_labels),
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" " * label_w + " " + " ".join(c.rjust(col_w) for c in col_labels))
+    for label, row in zip(row_labels, cells):
+        lines.append(label.ljust(label_w) + " " + " ".join(c.rjust(col_w) for c in row))
+    return "\n".join(lines)
+
+
+def render_series(
+    x: np.ndarray, series: dict[str, np.ndarray], x_label: str = "x"
+) -> str:
+    """Tabulated multi-series data (the numbers behind a line plot)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, xv in enumerate(np.asarray(x)):
+        row: list[object] = [xv]
+        for name in series:
+            row.append(float(series[name][i]))
+        rows.append(row)
+    return render_table(headers, rows)

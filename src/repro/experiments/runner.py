@@ -1,0 +1,207 @@
+"""High-level experiment runner: preset + algorithm name → RunHistory.
+
+This is the one place that wires data synthesis, partitioning,
+topology, energy traces, engine and algorithm together, so every
+figure/table reproduction and example goes through the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.base import Algorithm
+from ..core.dpsgd import DPSGD, AllReduceDPSGD
+from ..core.greedy import Greedy
+from ..core.schedule import RoundSchedule
+from ..core.skiptrain import SkipTrain, SkipTrainConstrained
+from ..data.dataset import ArrayDataset
+from ..data.partition import shard_partition, writer_partition
+from ..data.synthetic import make_classification_images, synthetic_femnist
+from ..energy.accounting import EnergyMeter
+from ..energy.traces import EnergyTrace, build_trace
+from ..simulation.builder import build_nodes
+from ..simulation.engine import EngineConfig, SimulationEngine
+from ..simulation.metrics import RunHistory
+from ..simulation.rng import RngFactory
+from .presets import ExperimentPreset
+
+__all__ = ["ExperimentResult", "PreparedExperiment", "prepare", "run_algorithm"]
+
+
+@dataclass
+class ExperimentResult:
+    """Run history plus the energy meter that produced its energy axis."""
+
+    history: RunHistory
+    meter: EnergyMeter
+    trace: EnergyTrace
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.history.final_accuracy()
+
+    @property
+    def total_train_energy_wh(self) -> float:
+        return self.meter.total_train_wh
+
+
+@dataclass
+class PreparedExperiment:
+    """Dataset + partition + topology, reusable across algorithms so
+    baseline comparisons see identical data and graphs.
+
+    Following the paper's protocol (§4.2), the held-out data is split
+    50/50 into a *validation* set (used to tune Γ_train/Γ_sync in the
+    grid search) and a disjoint *test* set (used everywhere else).
+    """
+
+    preset: ExperimentPreset
+    degree: int
+    seed: int
+    train: ArrayDataset
+    test: ArrayDataset
+    validation: ArrayDataset
+    partition: list[np.ndarray]
+    mixing: "object"  # scipy sparse matrix
+    trace: EnergyTrace
+
+
+def prepare(
+    preset: ExperimentPreset,
+    degree: int,
+    seed: int = 0,
+    total_rounds: int | None = None,
+) -> PreparedExperiment:
+    """Synthesize data, partition it and build the topology/trace for
+    one (preset, degree, seed) cell."""
+    from ..topology.graphs import regular_graph
+    from ..topology.mixing import metropolis_hastings_weights
+
+    rngs = RngFactory(seed)
+    spec = preset.spec
+
+    if preset.partition == "shard":
+        train, protos = make_classification_images(
+            spec, preset.num_train, rngs.stream("data")
+        )
+        heldout, _ = make_classification_images(
+            spec, preset.num_test, rngs.stream("test"), prototypes=protos
+        )
+        parts = shard_partition(
+            train.y, preset.n_nodes, rng=rngs.stream("partition")
+        )
+    elif preset.partition == "writer":
+        if preset.num_writers is None:
+            raise ValueError("writer partition requires num_writers")
+        train, heldout, tags = synthetic_femnist(
+            preset.num_train,
+            preset.num_test,
+            preset.num_writers,
+            rngs.stream("data"),
+            spec=spec,
+        )
+        parts = writer_partition(tags, preset.n_nodes)
+    else:
+        raise ValueError(f"unknown partition kind {preset.partition!r}")
+
+    # §4.2: validation = 50 % of the held-out samples, disjoint from test
+    validation, test = heldout.split(0.5, rngs.stream("val-split"))
+
+    graph = regular_graph(preset.n_nodes, degree, seed=seed)
+    mixing = metropolis_hastings_weights(graph)
+    trace = build_trace(
+        preset.n_nodes, preset.workload, preset.battery_fraction, degree=degree
+    )
+    return PreparedExperiment(
+        preset=preset,
+        degree=degree,
+        seed=seed,
+        train=train,
+        test=test,
+        validation=validation,
+        partition=parts,
+        mixing=mixing,
+        trace=trace,
+    )
+
+
+def _make_algorithm(
+    name: str,
+    prepared: PreparedExperiment,
+    schedule: RoundSchedule | None,
+    total_rounds: int,
+    rngs: RngFactory,
+) -> Algorithm:
+    n = prepared.preset.n_nodes
+    if schedule is None:
+        schedule = prepared.preset.schedule_for_degree(prepared.degree)
+    key = name.lower()
+    if key == "d-psgd":
+        return DPSGD(n)
+    if key == "d-psgd-allreduce":
+        return AllReduceDPSGD(n)
+    if key == "skiptrain":
+        return SkipTrain(n, schedule)
+    if key == "skiptrain-constrained":
+        return SkipTrainConstrained(
+            n,
+            schedule,
+            budgets=prepared.trace.budget_rounds,
+            total_rounds=total_rounds,
+            rng=rngs.stream("participation"),
+        )
+    if key == "greedy":
+        return Greedy(n, budgets=prepared.trace.budget_rounds)
+    raise KeyError(f"unknown algorithm {name!r}")
+
+
+def run_algorithm(
+    prepared: PreparedExperiment,
+    algorithm: str | Algorithm,
+    schedule: RoundSchedule | None = None,
+    total_rounds: int | None = None,
+    eval_every: int | None = None,
+    eval_on: str = "test",
+) -> ExperimentResult:
+    """Run one algorithm on a prepared experiment cell.
+
+    ``schedule``/``total_rounds``/``eval_every`` override the preset
+    (the grid search varies the schedule; Fig. 4 shortens the eval
+    cadence). ``eval_on`` selects the evaluation split: ``"test"`` for
+    result experiments, ``"validation"`` for hyperparameter tuning
+    (the paper's grid search uses the validation set, §4.2–4.3).
+    """
+    if eval_on not in ("test", "validation"):
+        raise ValueError('eval_on must be "test" or "validation"')
+    preset = prepared.preset
+    rngs = RngFactory(prepared.seed)
+    rounds = total_rounds if total_rounds is not None else preset.total_rounds
+    cfg = EngineConfig(
+        local_steps=preset.local_steps,
+        learning_rate=preset.learning_rate,
+        total_rounds=rounds,
+        eval_every=eval_every if eval_every is not None else preset.eval_every,
+        eval_node_sample=preset.eval_node_sample,
+    )
+    model = preset.model_factory(rngs.stream("model"))
+    nodes = build_nodes(
+        prepared.train, prepared.partition, preset.batch_size, rngs
+    )
+    meter = EnergyMeter(prepared.trace)
+    engine = SimulationEngine(
+        model,
+        nodes,
+        prepared.mixing,
+        cfg,
+        prepared.test if eval_on == "test" else prepared.validation,
+        meter=meter,
+        eval_rng=rngs.stream("eval"),
+    )
+    if isinstance(algorithm, str):
+        algo = _make_algorithm(algorithm, prepared, schedule, rounds, rngs)
+    else:
+        algo = algorithm
+    history = engine.run(algo)
+    return ExperimentResult(history=history, meter=meter, trace=prepared.trace)

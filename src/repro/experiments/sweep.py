@@ -1,0 +1,119 @@
+"""Multi-seed sweeps with mean ± std aggregation.
+
+Single-seed comparisons can flip on noise; the paper itself reports
+mean curves with std bands (Fig. 4). This module repeats an experiment
+cell over seeds and aggregates final accuracy and energy, giving every
+headline comparison an uncertainty estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.schedule import RoundSchedule
+from .presets import ExperimentPreset
+from .reporting import render_table
+from .runner import prepare, run_algorithm
+
+__all__ = ["SweepCell", "SweepResult", "seed_sweep", "compare_algorithms"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """Aggregated outcome of one algorithm over seeds."""
+
+    algorithm: str
+    accuracies: tuple[float, ...]
+    train_energies_wh: tuple[float, ...]
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.accuracies))
+
+    @property
+    def std_accuracy(self) -> float:
+        return float(np.std(self.accuracies))
+
+    @property
+    def mean_energy_wh(self) -> float:
+        return float(np.mean(self.train_energies_wh))
+
+    @property
+    def n_seeds(self) -> int:
+        return len(self.accuracies)
+
+
+@dataclass
+class SweepResult:
+    """All algorithms' aggregated cells for one preset/degree."""
+
+    degree: int
+    cells: dict[str, SweepCell]
+
+    def render(self) -> str:
+        rows = [
+            [
+                cell.algorithm,
+                cell.mean_accuracy * 100,
+                cell.std_accuracy * 100,
+                cell.mean_energy_wh,
+                cell.n_seeds,
+            ]
+            for cell in self.cells.values()
+        ]
+        return render_table(
+            ["algorithm", "accuracy % (mean)", "± std", "energy Wh (mean)",
+             "seeds"],
+            rows,
+            title=f"Seed sweep, {self.degree}-regular",
+        )
+
+    def significant_gap(self, a: str, b: str) -> bool:
+        """Whether algorithm ``a``'s mean accuracy exceeds ``b``'s by
+        more than one pooled standard deviation — a coarse but honest
+        significance screen for small seed counts."""
+        ca, cb = self.cells[a], self.cells[b]
+        pooled = float(np.sqrt((ca.std_accuracy**2 + cb.std_accuracy**2) / 2))
+        return ca.mean_accuracy - cb.mean_accuracy > pooled
+
+
+def seed_sweep(
+    preset: ExperimentPreset,
+    algorithm: str,
+    seeds: tuple[int, ...],
+    degree: int | None = None,
+    schedule: RoundSchedule | None = None,
+) -> SweepCell:
+    """Run one algorithm across seeds (data, partition, topology, and
+    model init all re-drawn per seed)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    deg = degree if degree is not None else preset.degrees[0]
+    accs, energies = [], []
+    for seed in seeds:
+        prepared = prepare(preset, deg, seed=seed)
+        result = run_algorithm(prepared, algorithm, schedule=schedule)
+        accs.append(result.history.final_accuracy())
+        energies.append(result.meter.total_train_wh)
+    return SweepCell(
+        algorithm=algorithm,
+        accuracies=tuple(accs),
+        train_energies_wh=tuple(energies),
+    )
+
+
+def compare_algorithms(
+    preset: ExperimentPreset,
+    algorithms: tuple[str, ...],
+    seeds: tuple[int, ...],
+    degree: int | None = None,
+) -> SweepResult:
+    """Sweep several algorithms over the same seeds."""
+    deg = degree if degree is not None else preset.degrees[0]
+    cells = {
+        name: seed_sweep(preset, name, seeds, degree=deg)
+        for name in algorithms
+    }
+    return SweepResult(degree=deg, cells=cells)

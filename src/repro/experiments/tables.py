@@ -1,0 +1,140 @@
+"""Per-table reproduction entry points (Tables 1–4 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy.battery import table2_rows
+from ..nn import PAPER_CIFAR10_PARAMS, PAPER_FEMNIST_PARAMS, cnn_femnist, gn_lenet_cifar10
+from .figures import Figure5Result, Figure6Result, figure5, figure6
+from .presets import ExperimentPreset
+from .reporting import render_table
+
+__all__ = ["table1", "table2", "Table3Result", "table3", "Table4Result", "table4"]
+
+
+def table1() -> str:
+    """Render Table 1 (simulation hyperparameters), asserting the model
+    sizes are reproduced by the actual architectures."""
+    cifar_params = gn_lenet_cifar10().num_parameters()
+    femnist_params = cnn_femnist().num_parameters()
+    if cifar_params != PAPER_CIFAR10_PARAMS:
+        raise AssertionError(f"CIFAR model has {cifar_params} params")
+    if femnist_params != PAPER_FEMNIST_PARAMS:
+        raise AssertionError(f"FEMNIST model has {femnist_params} params")
+    rows = [
+        ["η (learning rate)", 0.1, 0.1],
+        ["|ξ| (batch size)", 32, 16],
+        ["E (local steps)", 20, 7],
+        ["|x| (model size)", cifar_params, femnist_params],
+        ["T (total rounds)", 1000, 3000],
+    ]
+    return render_table(["hyperparameter", "CIFAR-10", "FEMNIST"], rows,
+                        title="Table 1: simulation hyperparameters")
+
+
+def table2() -> str:
+    """Render Table 2 (energy traces) from the trace pipeline."""
+    rows = [
+        [r.device, r.cifar10_mwh, r.femnist_mwh, r.cifar10_rounds, r.femnist_rounds]
+        for r in table2_rows()
+    ]
+    return render_table(
+        ["device", "CIFAR-10 mWh", "FEMNIST mWh", "CIFAR-10 rounds", "FEMNIST rounds"],
+        rows,
+        title="Table 2: energy traces",
+    )
+
+
+@dataclass
+class Table3Result:
+    """Training energy + final accuracy for SkipTrain vs D-PSGD."""
+
+    figure5: Figure5Result
+
+    def rows(self) -> list[list[object]]:
+        out: list[list[object]] = []
+        for algo, results in (
+            ("SkipTrain", self.figure5.skiptrain),
+            ("D-PSGD", self.figure5.dpsgd),
+        ):
+            row: list[object] = [algo]
+            for deg in self.figure5.degrees:
+                row.append(results[deg].meter.total_train_wh)
+            for deg in self.figure5.degrees:
+                row.append(results[deg].history.final_accuracy() * 100)
+            out.append(row)
+        return out
+
+    def energy_ratio(self, degree: int) -> float:
+        """D-PSGD training energy / SkipTrain training energy (the paper
+        reports ≈2×)."""
+        return (
+            self.figure5.dpsgd[degree].meter.total_train_wh
+            / self.figure5.skiptrain[degree].meter.total_train_wh
+        )
+
+    def accuracy_gain(self, degree: int) -> float:
+        """SkipTrain minus D-PSGD final accuracy (percentage points)."""
+        return 100.0 * (
+            self.figure5.skiptrain[degree].history.final_accuracy()
+            - self.figure5.dpsgd[degree].history.final_accuracy()
+        )
+
+    def render(self) -> str:
+        degs = self.figure5.degrees
+        headers = (
+            ["algorithm"]
+            + [f"energy Wh ({d}-reg)" for d in degs]
+            + [f"accuracy % ({d}-reg)" for d in degs]
+        )
+        return render_table(headers, self.rows(),
+                            title="Table 3: SkipTrain vs D-PSGD")
+
+
+def table3(preset: ExperimentPreset, seed: int = 0) -> Table3Result:
+    """Reproduce Table 3 for one dataset preset."""
+    return Table3Result(figure5=figure5(preset, seed=seed))
+
+
+@dataclass
+class Table4Result:
+    """Constrained-setting energy budgets and accuracies."""
+
+    figure6: Figure6Result
+
+    def rows(self) -> list[list[object]]:
+        degs = self.figure6.degrees
+        names = ["SkipTrain-constrained", "Greedy", "D-PSGD"]
+        out: list[list[object]] = []
+        for name in names:
+            row: list[object] = [name]
+            for deg in degs:
+                row.append(self.figure6.budget_wh(deg))
+            for deg in degs:
+                row.append(self.figure6.accuracy_at_budget(deg)[name] * 100)
+            out.append(row)
+        return out
+
+    def ordering_holds(self, degree: int) -> bool:
+        """Paper's headline ordering: constrained ≥ Greedy ≥ D-PSGD at
+        equal energy."""
+        accs = self.figure6.accuracy_at_budget(degree)
+        return (
+            accs["SkipTrain-constrained"] >= accs["Greedy"] >= accs["D-PSGD"]
+        )
+
+    def render(self) -> str:
+        degs = self.figure6.degrees
+        headers = (
+            ["algorithm"]
+            + [f"budget Wh ({d}-reg)" for d in degs]
+            + [f"accuracy % ({d}-reg)" for d in degs]
+        )
+        return render_table(headers, self.rows(),
+                            title="Table 4: energy-constrained setting")
+
+
+def table4(preset: ExperimentPreset, seed: int = 0) -> Table4Result:
+    """Reproduce Table 4 for one dataset preset."""
+    return Table4Result(figure6=figure6(preset, seed=seed))

@@ -1,0 +1,85 @@
+"""``repro.nn`` — a from-scratch vectorized NumPy neural-network engine.
+
+This package substitutes for PyTorch (unavailable offline): explicit
+forward/backward layers, SGD, cross-entropy, and flat-vector parameter
+serialization — everything the decentralized-learning simulator needs.
+"""
+
+from . import functional
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GroupNorm,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .losses import CrossEntropyLoss, MSELoss
+from .models import (
+    PAPER_CIFAR10_PARAMS,
+    PAPER_FEMNIST_PARAMS,
+    cnn_femnist,
+    gn_lenet_cifar10,
+    logistic_regression,
+    small_cnn,
+    small_mlp,
+)
+from .io import load_model, save_model
+from .module import Module, Sequential
+from .optim import SGD, ConstantLR, CosineLR, StepLR
+from .optim_adaptive import Adam, AdamW
+from .parameter import Parameter
+from .serialization import (
+    gradient_vector,
+    parameter_slices,
+    parameter_vector,
+    set_parameter_vector,
+    vector_size,
+)
+
+__all__ = [
+    "functional",
+    "Module",
+    "Sequential",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Flatten",
+    "Dropout",
+    "GroupNorm",
+    "BatchNorm2d",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "ConstantLR",
+    "StepLR",
+    "CosineLR",
+    "save_model",
+    "load_model",
+    "parameter_vector",
+    "set_parameter_vector",
+    "gradient_vector",
+    "parameter_slices",
+    "vector_size",
+    "gn_lenet_cifar10",
+    "cnn_femnist",
+    "small_cnn",
+    "small_mlp",
+    "logistic_regression",
+    "PAPER_CIFAR10_PARAMS",
+    "PAPER_FEMNIST_PARAMS",
+]

@@ -1,0 +1,169 @@
+"""Stateless numerical primitives used by the neural-network layers.
+
+Everything here is pure NumPy, vectorized over the batch dimension, and
+allocation-conscious per the hpc-parallel guidance: we favour views and
+in-place updates over copies, and express convolution via im2col so the
+inner loop is a single GEMM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "relu",
+    "relu_grad",
+    "sigmoid",
+    "tanh",
+    "im2col_indices",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "accuracy",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``.
+
+    Subtracting the running maximum keeps ``exp`` in range for large
+    logits; the subtraction broadcasts without copying ``x``.
+    """
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= np.sum(shifted, axis=axis, keepdims=True)
+    return shifted
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable ``log(softmax(x))`` along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
+    """Encode integer ``labels`` of shape ``(N,)`` as ``(N, num_classes)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): "
+            f"min={labels.min()}, max={labels.max()}"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise rectifier ``max(x, 0)``."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`relu` evaluated at the pre-activation ``x``."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Elementwise logistic function, stable for large ``|x|``."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Elementwise hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output size for input={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col_indices(
+    c: int, h: int, w: int, kh: int, kw: int, stride: int, padding: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Index arrays mapping a padded image to its column matrix.
+
+    Returns ``(k, i, j)`` suitable for fancy-indexing an ``(N, C, H+2p,
+    W+2p)`` array into ``(N, C*kh*kw, out_h*out_w)``.
+    """
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold ``x`` of shape ``(N, C, H, W)`` into ``(C*kh*kw, N*out_h*out_w)``.
+
+    The column layout turns convolution into a single matrix product,
+    which is the standard GEMM formulation used by BLAS-backed frameworks.
+    """
+    n, c, h, w = x.shape
+    if padding > 0:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    k, i, j = im2col_indices(c, h, w, kh, kw, stride, padding)
+    cols = x[:, k, i, j]  # (N, C*kh*kw, out_h*out_w)
+    return cols.transpose(1, 2, 0).reshape(c * kh * kw, -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back to image shape.
+
+    Overlapping windows accumulate, which is exactly the gradient of the
+    unfold operation.
+    """
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    x_padded = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    k, i, j = im2col_indices(c, h, w, kh, kw, stride, padding)
+    cols_reshaped = cols.reshape(c * kh * kw, -1, n).transpose(2, 0, 1)
+    np.add.at(x_padded, (slice(None), k, i, j), cols_reshaped)
+    if padding == 0:
+        return x_padded
+    return x_padded[:, :, padding:-padding, padding:-padding]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of ``logits`` ``(N, K)`` against integer ``labels``."""
+    if logits.shape[0] == 0:
+        return 0.0
+    preds = np.argmax(logits, axis=1)
+    return float(np.mean(preds == labels))

@@ -1,0 +1,74 @@
+"""Weight-initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+model construction is reproducible per node (each simulated node derives
+its own child stream; see :mod:`repro.simulation.rng`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "kaiming_uniform",
+    "kaiming_normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "zeros",
+    "fan_in_and_fan_out",
+]
+
+
+def fan_in_and_fan_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute ``(fan_in, fan_out)`` for dense and convolutional shapes.
+
+    Dense weights are ``(in, out)``; conv weights are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)
+) -> np.ndarray:
+    """He/Kaiming uniform init, appropriate for ReLU networks."""
+    fan_in, _ = fan_in_and_fan_out(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(
+    shape: tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)
+) -> np.ndarray:
+    """He/Kaiming normal init."""
+    fan_in, _ = fan_in_and_fan_out(shape)
+    std = gain / math.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init, appropriate for tanh/sigmoid networks."""
+    fan_in, fan_out = fan_in_and_fan_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal init."""
+    fan_in, fan_out = fan_in_and_fan_out(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero array (standard for biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,53 @@
+"""Model persistence: save/load parameter state as ``.npz`` archives.
+
+Stores each parameter under its dotted name plus a layout manifest, so
+a load into a freshly constructed model of the same architecture is
+exact, and mismatched architectures fail loudly instead of silently
+mis-assigning weights.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_model", "load_model"]
+
+_MANIFEST_KEY = "__names__"
+
+
+def save_model(model: Module, path: str | os.PathLike) -> None:
+    """Write all named parameters of ``model`` to ``path`` (.npz)."""
+    named = dict(model.named_parameters())
+    if not named:
+        raise ValueError("model has no parameters to save")
+    arrays = {name: p.data for name, p in named.items()}
+    arrays[_MANIFEST_KEY] = np.array(sorted(named), dtype=object)
+    np.savez(path, **arrays, allow_pickle=True)
+
+
+def load_model(model: Module, path: str | os.PathLike) -> None:
+    """Load parameters saved by :func:`save_model` into ``model`` in
+    place, verifying names and shapes match exactly."""
+    with np.load(path, allow_pickle=True) as archive:
+        stored = set(archive[_MANIFEST_KEY].tolist())
+        named = dict(model.named_parameters())
+        current = set(named)
+        if stored != current:
+            missing = stored - current
+            extra = current - stored
+            raise ValueError(
+                f"architecture mismatch: file-only={sorted(missing)}, "
+                f"model-only={sorted(extra)}"
+            )
+        for name, p in named.items():
+            data = archive[name]
+            if data.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: file {data.shape} vs "
+                    f"model {p.data.shape}"
+                )
+            p.data[...] = data

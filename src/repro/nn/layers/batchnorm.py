@@ -1,0 +1,89 @@
+"""Batch normalization.
+
+Included for library completeness — but note the decentralized-learning
+caveat the GroupNorm choice in the paper's GN-LeNet reflects: BatchNorm
+running statistics are *local state* that model averaging mixes poorly
+under non-IID data, which is why DL/FL models usually prefer GroupNorm.
+The running buffers here are registered as parameters of a special
+non-trainable kind? No — they are plain arrays excluded from
+``parameters()``, so model averaging exchanges only weights, matching
+how DecentralizePy treats buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+from ..parameter import Parameter
+
+__all__ = ["BatchNorm2d"]
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalization over ``(N, C, H, W)`` inputs.
+
+    Training mode normalizes with batch statistics and updates running
+    estimates; eval mode uses the running estimates. ``gamma``/``beta``
+    are trainable; the running buffers are not (and are not part of the
+    flat parameter vector nodes exchange).
+    """
+
+    def __init__(self, num_channels: int, eps: float = 1e-5,
+                 momentum: float = 0.1) -> None:
+        if num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must be in (0, 1]")
+        self.num_channels = num_channels
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_channels), name="gamma")
+        self.beta = Parameter(np.zeros(num_channels), name="beta")
+        self.running_mean = np.zeros(num_channels)
+        self.running_var = np.ones(num_channels)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"BatchNorm2d expects (N, {self.num_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean *= 1 - self.momentum
+            self.running_mean += self.momentum * mean
+            self.running_var *= 1 - self.momentum
+            self.running_var += self.momentum * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        if self.training:
+            self._cache = (xhat, inv_std, x.shape)
+        return xhat * self.gamma.data[None, :, None, None] + self.beta.data[
+            None, :, None, None
+        ]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(
+                "backward requires a training-mode forward pass"
+            )
+        xhat, inv_std, shape = self._cache
+        n, c, h, w = shape
+        m = n * h * w
+
+        self.gamma.grad += (grad_out * xhat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad_out.sum(axis=(0, 2, 3))
+
+        dxhat = grad_out * self.gamma.data[None, :, None, None]
+        sum_dxhat = dxhat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_dxhat_xhat = (dxhat * xhat).sum(axis=(0, 2, 3), keepdims=True)
+        dx = (inv_std[None, :, None, None] / m) * (
+            m * dxhat - sum_dxhat - xhat * sum_dxhat_xhat
+        )
+        return dx

@@ -1,0 +1,60 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import init
+from ..module import Module
+from ..parameter import Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` with ``W`` of shape ``(in, out)``.
+
+    Keeping the weight in ``(in, out)`` layout means the forward product
+    reads ``x`` row-contiguously — the batch dimension streams through
+    cache (hpc-parallel guide: group memory accesses).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        bias: bool = True,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((in_features, out_features), rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"Linear expects (N, {self.in_features}), got {x.shape}")
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expects {self.in_features} input features, got {x.shape[1]}"
+            )
+        self._x = x
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out += self.bias.data
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        self.weight.grad += x.T @ grad_out
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.data.T

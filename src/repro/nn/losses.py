@@ -1,0 +1,73 @@
+"""Loss functions.
+
+Each loss exposes ``forward(logits, targets) -> float`` and
+``backward() -> grad_wrt_logits``; gradients are already divided by the
+batch size so optimizer steps are scale-free in the batch dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+
+__all__ = ["CrossEntropyLoss", "MSELoss"]
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    Combines log-softmax and NLL in one step so the backward pass is the
+    numerically exact ``softmax(logits) - onehot(targets)``.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, K), got {logits.shape}")
+        targets = np.asarray(targets)
+        if targets.shape != (logits.shape[0],):
+            raise ValueError(
+                f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+            )
+        log_probs = F.log_softmax(logits, axis=1)
+        self._probs = np.exp(log_probs)
+        self._targets = targets
+        n = logits.shape[0]
+        return float(-log_probs[np.arange(n), targets].mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._targets] -= 1.0
+        grad /= n
+        return grad
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)
+
+
+class MSELoss:
+    """Mean squared error over arbitrary-shape predictions."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, preds: np.ndarray, targets: np.ndarray) -> float:
+        if preds.shape != targets.shape:
+            raise ValueError(f"shape mismatch {preds.shape} vs {targets.shape}")
+        self._diff = preds - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+    def __call__(self, preds: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(preds, targets)

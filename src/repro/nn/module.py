@@ -1,0 +1,129 @@
+"""Module base class and Sequential container.
+
+The engine uses explicit ``forward``/``backward`` methods rather than a
+tape-based autograd: every layer caches what it needs during ``forward``
+and consumes it in ``backward``. For the feed-forward CNN/MLP models in
+the paper this is simpler, faster, and easier to test than a graph
+recorder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .parameter import Parameter
+
+__all__ = ["Module", "Sequential"]
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`; parameters
+    are discovered automatically by scanning instance attributes (direct
+    :class:`Parameter` attributes and nested :class:`Module` instances).
+    """
+
+    training: bool = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Propagate ``dL/d(output)`` to ``dL/d(input)``, accumulating
+        parameter gradients along the way."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- parameter discovery -------------------------------------------------
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all trainable parameters in deterministic attribute order."""
+        for _, value in sorted(vars(self).items()):
+            if isinstance(value, Parameter):
+                yield value
+            elif isinstance(value, Module):
+                yield from value.parameters()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+                    elif isinstance(item, Parameter):
+                        yield item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs."""
+        for attr, value in sorted(vars(self).items()):
+            name = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for idx, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{idx}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{name}.{idx}", item
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Zero every parameter gradient buffer in place."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- train / eval mode ----------------------------------------------------
+
+    def train(self) -> "Module":
+        """Switch this module (and children) to training mode."""
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module (and children) to inference mode."""
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+
+class Sequential(Module):
+    """Chain layers so ``forward`` composes left-to-right and ``backward``
+    right-to-left."""
+
+    def __init__(self, *layers: Module) -> None:
+        self.layers = list(layers)
+
+    def append(self, layer: Module) -> None:
+        self.layers.append(layer)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]

@@ -1,0 +1,38 @@
+"""Parameter container for the NumPy NN engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable array with an accompanying gradient buffer.
+
+    The gradient buffer is allocated once and reused across steps
+    (zeroed in-place), avoiding per-step allocations in the training
+    loop — the dominant cost outside the GEMMs themselves.
+    """
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        """Reset the gradient buffer in place."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"

@@ -1,0 +1,82 @@
+"""Flat-vector (de)serialization of model parameters.
+
+Decentralized learning exchanges and averages whole models, so the
+simulator keeps every node's model as one contiguous float64 vector and
+the aggregation step becomes a single sparse matrix product. These
+helpers convert between a :class:`~repro.nn.module.Module` and its flat
+vector without copying more than necessary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+
+__all__ = [
+    "parameter_vector",
+    "set_parameter_vector",
+    "gradient_vector",
+    "parameter_slices",
+    "vector_size",
+]
+
+
+def vector_size(model: Module) -> int:
+    """Length of the flat parameter vector of ``model``."""
+    return model.num_parameters()
+
+
+def parameter_slices(model: Module) -> list[tuple[str, slice, tuple[int, ...]]]:
+    """Layout map: ``(name, slice_into_flat_vector, original_shape)``."""
+    out = []
+    offset = 0
+    for name, p in model.named_parameters():
+        out.append((name, slice(offset, offset + p.size), p.shape))
+        offset += p.size
+    return out
+
+
+def parameter_vector(model: Module, out: np.ndarray | None = None) -> np.ndarray:
+    """Copy all parameters of ``model`` into one flat float64 vector.
+
+    Pass ``out`` to reuse a preallocated buffer (the simulation engine
+    writes directly into its ``(n, dim)`` state matrix rows).
+    """
+    size = model.num_parameters()
+    if out is None:
+        out = np.empty(size, dtype=np.float64)
+    elif out.shape != (size,):
+        raise ValueError(f"out must have shape ({size},), got {out.shape}")
+    offset = 0
+    for p in model.parameters():
+        out[offset : offset + p.size] = p.data.ravel()
+        offset += p.size
+    return out
+
+
+def set_parameter_vector(model: Module, vec: np.ndarray) -> None:
+    """Load a flat vector produced by :func:`parameter_vector` back into
+    ``model`` (in place, preserving each parameter's shape)."""
+    size = model.num_parameters()
+    vec = np.asarray(vec)
+    if vec.shape != (size,):
+        raise ValueError(f"vector must have shape ({size},), got {vec.shape}")
+    offset = 0
+    for p in model.parameters():
+        p.data[...] = vec[offset : offset + p.size].reshape(p.shape)
+        offset += p.size
+
+
+def gradient_vector(model: Module, out: np.ndarray | None = None) -> np.ndarray:
+    """Copy all parameter gradients into one flat vector."""
+    size = model.num_parameters()
+    if out is None:
+        out = np.empty(size, dtype=np.float64)
+    elif out.shape != (size,):
+        raise ValueError(f"out must have shape ({size},), got {out.shape}")
+    offset = 0
+    for p in model.parameters():
+        out[offset : offset + p.size] = p.grad.ravel()
+        offset += p.size
+    return out

@@ -1,0 +1,79 @@
+"""``repro.simulation`` — the decentralized-learning simulators
+(substitute for the paper's DecentralizePy cluster deployment):
+synchronous round engine, process-parallel variant, asynchronous gossip
+engine, message-level network, failure injection and fairness metrics."""
+
+from .async_engine import (
+    AsyncDPSGD,
+    AsyncGossipEngine,
+    AsyncHistory,
+    AsyncPolicy,
+    AsyncRecord,
+    AsyncSkipTrain,
+    AsyncSkipTrainConstrained,
+)
+from .builder import build_nodes
+from .checkpoint import load_checkpoint, save_checkpoint
+from .engine import EngineConfig, SimulationEngine
+from .failures import (
+    CrashWindow,
+    FailureModel,
+    IndependentCrashes,
+    NoFailures,
+    failure_mixing_provider,
+    masked_mixing,
+)
+from .fairness import (
+    DeviceGroupReport,
+    device_group_report,
+    local_test_sets,
+    participation_gini,
+    per_node_accuracy,
+)
+from .metrics import (
+    RoundRecord,
+    RunHistory,
+    consensus_distance,
+    evaluate_model_vector,
+    evaluate_state,
+)
+from .network import MessagePassingNetwork, TrafficStats
+from .node import Node
+from .parallel import ParallelSimulationEngine
+from .rng import RngFactory
+
+__all__ = [
+    "RngFactory",
+    "Node",
+    "build_nodes",
+    "EngineConfig",
+    "SimulationEngine",
+    "ParallelSimulationEngine",
+    "RoundRecord",
+    "RunHistory",
+    "consensus_distance",
+    "evaluate_state",
+    "evaluate_model_vector",
+    "AsyncGossipEngine",
+    "AsyncPolicy",
+    "AsyncDPSGD",
+    "AsyncSkipTrain",
+    "AsyncSkipTrainConstrained",
+    "AsyncRecord",
+    "AsyncHistory",
+    "MessagePassingNetwork",
+    "TrafficStats",
+    "FailureModel",
+    "NoFailures",
+    "IndependentCrashes",
+    "CrashWindow",
+    "masked_mixing",
+    "failure_mixing_provider",
+    "DeviceGroupReport",
+    "device_group_report",
+    "local_test_sets",
+    "participation_gini",
+    "per_node_accuracy",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,264 @@
+"""Asynchronous gossip engine — the paper's §5.3 future-work direction.
+
+The synchronous engine advances all nodes in lockstep rounds, which §5.3
+notes is hard to coordinate at scale. This engine drops the global
+clock: every node carries an independent Poisson activation clock; on
+each activation it (optionally) trains and then performs one *pairwise
+gossip* with a uniformly random neighbor, both parties averaging their
+models (randomized gossip, Boyd et al.). Expected-value behaviour
+matches synchronous D-PSGD/SkipTrain while requiring no coordination.
+
+SkipTrain translates naturally: instead of globally coordinated sync
+rounds, each node runs its own local Γ_train/Γ_sync cycle over its
+activation counter — training-silent *activations* replace
+training-silent rounds. Energy accounting charges a node's per-round
+training energy per training activation, so the 50 % saving carries
+over activation-for-activation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.schedule import RoundSchedule
+from ..data.dataset import ArrayDataset
+from ..energy.traces import EnergyTrace
+from ..nn.losses import CrossEntropyLoss
+from ..nn.module import Module
+from ..nn.optim import SGD
+from ..nn.serialization import parameter_vector, set_parameter_vector
+from .metrics import consensus_distance, evaluate_state
+from .node import Node
+
+__all__ = [
+    "AsyncPolicy",
+    "AsyncDPSGD",
+    "AsyncSkipTrain",
+    "AsyncSkipTrainConstrained",
+    "AsyncRecord",
+    "AsyncHistory",
+    "AsyncGossipEngine",
+]
+
+
+class AsyncPolicy:
+    """Decides, per activation, whether the activating node trains."""
+
+    name = "async-policy"
+
+    def should_train(self, node_id: int, activation_index: int) -> bool:
+        """``activation_index`` is the node's own 1-based activation
+        counter — a purely local quantity."""
+        raise NotImplementedError
+
+
+class AsyncDPSGD(AsyncPolicy):
+    """Train on every activation (async analogue of D-PSGD)."""
+
+    name = "async-D-PSGD"
+
+    def should_train(self, node_id: int, activation_index: int) -> bool:
+        return True
+
+
+class AsyncSkipTrain(AsyncPolicy):
+    """Local Γ_train/Γ_sync cycling over each node's activation counter."""
+
+    name = "async-SkipTrain"
+
+    def __init__(self, schedule: RoundSchedule) -> None:
+        if schedule.gamma_train == 0:
+            raise ValueError("schedule needs at least one training slot")
+        self.schedule = schedule
+
+    def should_train(self, node_id: int, activation_index: int) -> bool:
+        return self.schedule.is_training_round(activation_index)
+
+
+class AsyncSkipTrainConstrained(AsyncSkipTrain):
+    """Adds per-node budgets and Eq. 5 coins to the local cycle."""
+
+    name = "async-SkipTrain-constrained"
+
+    def __init__(
+        self,
+        schedule: RoundSchedule,
+        budgets: np.ndarray,
+        expected_activations: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(schedule)
+        budgets = np.asarray(budgets, dtype=np.int64)
+        if (budgets < 0).any():
+            raise ValueError("budgets must be non-negative")
+        if expected_activations <= 0:
+            raise ValueError("expected_activations must be positive")
+        t_train = schedule.max_training_rounds(expected_activations)
+        self.probabilities = (
+            np.minimum(budgets / t_train, 1.0) if t_train > 0
+            else np.zeros(budgets.shape)
+        )
+        self.remaining = budgets.copy()
+        self.rng = rng
+
+    def should_train(self, node_id: int, activation_index: int) -> bool:
+        if not super().should_train(node_id, activation_index):
+            return False
+        if self.remaining[node_id] <= 0:
+            return False
+        if self.rng.random() > self.probabilities[node_id]:
+            return False
+        self.remaining[node_id] -= 1
+        return True
+
+
+@dataclass(frozen=True)
+class AsyncRecord:
+    """Metrics snapshot at one evaluation time."""
+
+    time: float
+    activations: int
+    mean_accuracy: float
+    std_accuracy: float
+    consensus: float
+    train_energy_wh: float
+
+
+@dataclass
+class AsyncHistory:
+    """Metrics of one asynchronous run."""
+
+    policy: str
+    records: list[AsyncRecord]
+
+    def final_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("empty history")
+        return self.records[-1].mean_accuracy
+
+
+class AsyncGossipEngine:
+    """Event-driven pairwise-gossip simulator.
+
+    ``neighbor_lists`` defines the topology; every node activates at
+    unit rate. The engine runs until each node has activated
+    ``activations_per_node`` times in expectation (total event budget
+    ``n × activations_per_node``), evaluating every ``eval_every``
+    events.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        nodes: list[Node],
+        neighbor_lists: list[np.ndarray],
+        test_set: ArrayDataset,
+        local_steps: int,
+        learning_rate: float,
+        rng: np.random.Generator,
+        trace: EnergyTrace | None = None,
+        eval_node_sample: int | None = None,
+    ) -> None:
+        n = len(nodes)
+        if n != len(neighbor_lists):
+            raise ValueError("neighbor lists must match node count")
+        if any(len(nbrs) == 0 for nbrs in neighbor_lists):
+            raise ValueError("every node needs at least one neighbor")
+        if trace is not None and trace.n_nodes != n:
+            raise ValueError("trace node count mismatch")
+        self.model = model
+        self.nodes = nodes
+        self.neighbors = neighbor_lists
+        self.test_set = test_set
+        self.local_steps = local_steps
+        self.rng = rng
+        self.trace = trace
+        self.eval_node_sample = eval_node_sample
+        self.loss = CrossEntropyLoss()
+        self.optimizer = SGD(model.parameters(), lr=learning_rate)
+        init = parameter_vector(model)
+        self.state = np.tile(init, (n, 1))
+        self.activation_counts = np.zeros(n, dtype=np.int64)
+        self.train_counts = np.zeros(n, dtype=np.int64)
+        self.train_energy_wh = 0.0
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def _train_node(self, i: int) -> None:
+        set_parameter_vector(self.model, self.state[i])
+        node = self.nodes[i]
+        for _ in range(self.local_steps):
+            xb, yb = node.sample_batch()
+            logits = self.model(xb)
+            self.loss.forward(logits, yb)
+            self.model.zero_grad()
+            self.model.backward(self.loss.backward())
+            self.optimizer.step()
+        parameter_vector(self.model, out=self.state[i])
+        self.train_counts[i] += 1
+        if self.trace is not None:
+            self.train_energy_wh += self.trace.train_energy_wh[i]
+
+    def _gossip(self, i: int) -> None:
+        j = int(self.rng.choice(self.neighbors[i]))
+        avg = 0.5 * (self.state[i] + self.state[j])
+        self.state[i] = avg
+        self.state[j] = avg
+
+    def _evaluate(self, time: float, events: int) -> AsyncRecord:
+        node_ids = None
+        if (
+            self.eval_node_sample is not None
+            and self.eval_node_sample < self.n_nodes
+        ):
+            node_ids = self.rng.choice(
+                self.n_nodes, size=self.eval_node_sample, replace=False
+            )
+        mean_acc, std_acc = evaluate_state(
+            self.model, self.state, self.test_set, node_ids=node_ids
+        )
+        return AsyncRecord(
+            time=time,
+            activations=events,
+            mean_accuracy=mean_acc,
+            std_accuracy=std_acc,
+            consensus=consensus_distance(self.state),
+            train_energy_wh=self.train_energy_wh,
+        )
+
+    def run(
+        self,
+        policy: AsyncPolicy,
+        activations_per_node: int,
+        eval_every: int | None = None,
+    ) -> AsyncHistory:
+        """Simulate ``n × activations_per_node`` activation events."""
+        if activations_per_node <= 0:
+            raise ValueError("activations_per_node must be positive")
+        n = self.n_nodes
+        total_events = n * activations_per_node
+        if eval_every is None:
+            eval_every = max(1, total_events // 10)
+
+        # Poisson clocks: next activation time per node
+        queue = [
+            (float(self.rng.exponential()), i) for i in range(n)
+        ]
+        heapq.heapify(queue)
+
+        history = AsyncHistory(policy=policy.name, records=[])
+        for event in range(1, total_events + 1):
+            time, i = heapq.heappop(queue)
+            self.activation_counts[i] += 1
+            if policy.should_train(i, int(self.activation_counts[i])):
+                self._train_node(i)
+            self._gossip(i)
+            heapq.heappush(queue, (time + float(self.rng.exponential()), i))
+            if event % eval_every == 0 or event == total_events:
+                history.records.append(self._evaluate(time, event))
+        return history

@@ -1,0 +1,39 @@
+"""Convenience constructors wiring data, topology, energy and engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset, DataLoader
+from ..data.partition import partition_datasets
+from ..energy.devices import DeviceProfile
+from ..energy.traces import assign_devices_round_robin
+from .node import Node
+from .rng import RngFactory
+
+__all__ = ["build_nodes"]
+
+
+def build_nodes(
+    global_train: ArrayDataset,
+    partition: list[np.ndarray],
+    batch_size: int,
+    rngs: RngFactory,
+    devices: tuple[DeviceProfile, ...] | None = None,
+) -> list[Node]:
+    """Materialize one :class:`Node` per partition cell.
+
+    Each node gets an independent batch-sampling stream; devices default
+    to the paper's round-robin assignment over the four phones.
+    """
+    parts = partition_datasets(global_train, partition)
+    n = len(parts)
+    if devices is None:
+        devices = assign_devices_round_robin(n)
+    if len(devices) != n:
+        raise ValueError("one device per node required")
+    nodes = []
+    for i, ds in enumerate(parts):
+        loader = DataLoader(ds, batch_size=batch_size, rng=rngs.node_stream("batch", i))
+        nodes.append(Node(node_id=i, dataset=ds, loader=loader, device=devices[i]))
+    return nodes

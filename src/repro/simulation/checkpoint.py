@@ -1,0 +1,72 @@
+"""Engine checkpointing.
+
+Long sweeps (the paper's FEMNIST runs are 3000 rounds) need restart
+capability. A checkpoint captures everything round-dependent outside
+the algorithm object: the state matrix, the round counter, and the
+energy meter's accumulators. Saved as a single ``.npz``.
+
+Algorithms with internal state (budgets, rng streams) are the caller's
+responsibility to reconstruct — deterministic seeding (RngFactory)
+makes replaying their consumed randomness straightforward, and
+:class:`~repro.core.budget.BudgetState` can be rebuilt from the meter's
+per-node training-round counters (also checkpointed).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..energy.accounting import EnergyMeter
+from .engine import SimulationEngine
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(
+    engine: SimulationEngine, round_index: int, path: str | os.PathLike
+) -> None:
+    """Persist the engine's round-dependent state after ``round_index``
+    completed rounds."""
+    if round_index < 0:
+        raise ValueError("round_index must be non-negative")
+    payload = {
+        "state": engine.state,
+        "round_index": np.array(round_index, dtype=np.int64),
+    }
+    if engine.meter is not None:
+        payload["train_wh"] = engine.meter.train_wh
+        payload["comm_wh"] = engine.meter.comm_wh
+        payload["train_rounds"] = engine.meter.train_rounds
+        payload["history_total"] = np.asarray(engine.meter._history_total)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(
+    engine: SimulationEngine, path: str | os.PathLike
+) -> int:
+    """Restore a checkpoint into ``engine`` (in place) and return the
+    number of rounds already completed.
+
+    The engine must have been constructed with the same model
+    architecture and node count; mismatches fail loudly.
+    """
+    with np.load(path) as archive:
+        state = archive["state"]
+        if state.shape != engine.state.shape:
+            raise ValueError(
+                f"checkpoint state shape {state.shape} does not match "
+                f"engine {engine.state.shape}"
+            )
+        engine.state[...] = state
+        round_index = int(archive["round_index"])
+        if engine.meter is not None:
+            if "train_wh" not in archive:
+                raise ValueError("checkpoint lacks energy-meter arrays")
+            meter: EnergyMeter = engine.meter
+            meter.train_wh[...] = archive["train_wh"]
+            meter.comm_wh[...] = archive["comm_wh"]
+            meter.train_rounds[...] = archive["train_rounds"]
+            meter._history_total = archive["history_total"].tolist()
+    return round_index

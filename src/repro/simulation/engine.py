@@ -1,0 +1,267 @@
+"""The synchronous round engine.
+
+Executes the common skeleton of every algorithm in the paper:
+
+    for t in 1..T:
+        mask ← algorithm.train_mask(t)          # who trains
+        for i in mask: E local SGD steps on node i's data
+        X ← W X  (or exact all-reduce)          # share + aggregate
+        record energy; maybe evaluate
+
+Model state lives in one ``(n, dim)`` float64 matrix ``X`` so the
+aggregation step is a single sparse GEMM per round (hpc-parallel guide:
+vectorize the hot loop, avoid per-node Python overhead). A single
+workspace model object is re-used for all nodes' local training — plain
+SGD carries no optimizer state, so swapping parameter vectors in and
+out is semantically identical to per-node models at 1/n the memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.base import Algorithm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.compression import Compressor
+    from .failures import FailureModel
+from ..data.dataset import ArrayDataset
+from ..energy.accounting import EnergyMeter
+from ..nn.losses import CrossEntropyLoss
+from ..nn.module import Module
+from ..nn.optim import SGD
+from ..nn.serialization import parameter_vector, set_parameter_vector
+from .metrics import RoundRecord, RunHistory, consensus_distance, evaluate_state
+from .node import Node
+
+__all__ = ["EngineConfig", "SimulationEngine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Training-loop hyperparameters (Table 1 of the paper)."""
+
+    local_steps: int
+    learning_rate: float
+    total_rounds: int
+    eval_every: int = 10
+    eval_node_sample: int | None = None
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.local_steps <= 0:
+            raise ValueError("local_steps must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.total_rounds <= 0:
+            raise ValueError("total_rounds must be positive")
+        if self.eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+
+
+class SimulationEngine:
+    """Runs one algorithm over one topology/dataset assignment."""
+
+    def __init__(
+        self,
+        model: Module,
+        nodes: list[Node],
+        mixing: "sp.spmatrix | Callable[[int], sp.spmatrix]",
+        config: EngineConfig,
+        test_set: ArrayDataset,
+        meter: EnergyMeter | None = None,
+        eval_rng: np.random.Generator | None = None,
+        compressor: "Compressor | None" = None,
+        failure_model: "FailureModel | None" = None,
+    ) -> None:
+        n = len(nodes)
+        if n == 0:
+            raise ValueError("need at least one node")
+        if callable(mixing):
+            self._mixing_provider = mixing
+            self.mixing = mixing(1).tocsr()
+        else:
+            self._mixing_provider = None
+            self.mixing = mixing.tocsr()
+        if self.mixing.shape != (n, n):
+            raise ValueError(
+                f"mixing matrix shape {self.mixing.shape} does not match {n} nodes"
+            )
+        if meter is not None and meter.n_nodes != n:
+            raise ValueError("energy meter node count mismatch")
+        self.model = model
+        self.nodes = nodes
+        self.config = config
+        self.test_set = test_set
+        self.meter = meter
+        self.eval_rng = eval_rng if eval_rng is not None else np.random.default_rng(0)
+        self.compressor = compressor
+        self.failure_model = failure_model
+        self.loss = CrossEntropyLoss()
+        self.optimizer = SGD(
+            model.parameters(),
+            lr=config.learning_rate,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+
+        dim = model.num_parameters()
+        # All nodes start from the same initialization (Algorithm 1/2
+        # initialize x_i^0; DecentralizePy seeds all nodes identically).
+        init = parameter_vector(model)
+        self.state = np.tile(init, (n, 1))
+        self._comm_scale = (
+            1.0 if compressor is None else compressor.ratio(dim)
+        )
+        # error-feedback public copies (lazy; only with a compressor)
+        self._public: np.ndarray | None = None
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    # -- internals ------------------------------------------------------------
+
+    def _train_node(self, i: int) -> float:
+        """E local SGD steps on node i, updating ``state[i]`` in place.
+        Returns the node's mean training loss over its local steps."""
+        set_parameter_vector(self.model, self.state[i])
+        node = self.nodes[i]
+        total_loss = 0.0
+        for _ in range(self.config.local_steps):
+            xb, yb = node.sample_batch()
+            logits = self.model(xb)
+            total_loss += self.loss.forward(logits, yb)
+            self.model.zero_grad()
+            self.model.backward(self.loss.backward())
+            self.optimizer.step()
+        parameter_vector(self.model, out=self.state[i])
+        return total_loss / self.config.local_steps
+
+    def _mixing_for_round(self, t: int) -> sp.csr_matrix:
+        """The round's mixing matrix: static, provided per round, or
+        restricted to the alive subgraph under the failure model."""
+        if self._mixing_provider is not None:
+            w = self._mixing_provider(t).tocsr()
+            if w.shape != self.mixing.shape:
+                raise ValueError("mixing provider returned wrong shape")
+            return w
+        return self.mixing
+
+    def _aggregate(self, use_allreduce: bool, t: int = 1) -> None:
+        """Share + aggregate: one sparse GEMM (or an exact average).
+
+        With a compressor, communication uses error-feedback compressed
+        gossip (the CHOCO-SGD scheme): every node maintains a *public
+        copy* x̂ᵢ that all neighbors know, updated each round by a
+        compressed delta ``x̂ᵢ += compress(xᵢ − x̂ᵢ)``. Aggregation then
+        mixes the public copies for the off-diagonal terms while each
+        node's own contribution stays exact:
+        ``xᵢ ← Wᵢᵢ xᵢ + Σ_{j≠i} Wᵢⱼ x̂ⱼ``. The compression error does
+        not accumulate: x̂ tracks x, so the scheme degrades gracefully
+        even at aggressive sparsity.
+        """
+        if use_allreduce:
+            self.state[:] = self.state.mean(axis=0, keepdims=True)
+            return
+        w = self._mixing_for_round(t)
+        if self.compressor is None:
+            self.state = w @ self.state
+            return
+        if self._public is None:
+            self._public = np.zeros_like(self.state)
+        for i in range(self.state.shape[0]):
+            delta, _ = self.compressor.compress(self.state[i] - self._public[i])
+            self._public[i] += delta
+        diag = w.diagonal()
+        off = w - sp.diags(diag)
+        self.state = diag[:, None] * self.state + off @ self._public
+
+    def _evaluate(
+        self,
+        t: int,
+        trained: np.ndarray,
+        is_training_round: bool,
+        train_loss: float = float("nan"),
+    ) -> RoundRecord:
+        sample = self.config.eval_node_sample
+        node_ids = None
+        if sample is not None and sample < self.n_nodes:
+            node_ids = self.eval_rng.choice(self.n_nodes, size=sample, replace=False)
+        mean_acc, std_acc = evaluate_state(
+            self.model, self.state, self.test_set, node_ids=node_ids
+        )
+        energy = self.meter.total_wh if self.meter is not None else 0.0
+        return RoundRecord(
+            round=t,
+            mean_accuracy=mean_acc,
+            std_accuracy=std_acc,
+            consensus=consensus_distance(self.state),
+            cumulative_energy_wh=energy,
+            trained_nodes=int(trained.sum()),
+            is_training_round=is_training_round,
+            train_loss=train_loss,
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, algorithm: Algorithm, start_round: int = 0) -> RunHistory:
+        """Execute ``algorithm`` for rounds ``start_round+1 ..
+        config.total_rounds``. Non-zero ``start_round`` resumes a run
+        whose state was restored via
+        :func:`repro.simulation.checkpoint.load_checkpoint` (stateless
+        algorithms resume exactly; stateful ones must be reconstructed
+        by the caller)."""
+        if algorithm.n_nodes != self.n_nodes:
+            raise ValueError("algorithm node count mismatch")
+        if not 0 <= start_round <= self.config.total_rounds:
+            raise ValueError("start_round out of range")
+        history = RunHistory(algorithm=algorithm.name)
+        cfg = self.config
+        last_eval = start_round
+        for t in range(start_round + 1, cfg.total_rounds + 1):
+            mask = np.asarray(algorithm.train_mask(t), dtype=bool)
+            if mask.shape != (self.n_nodes,):
+                raise ValueError("train_mask returned wrong shape")
+            if self.failure_model is not None:
+                alive = self.failure_model.alive(t)
+                mask = mask & alive
+            else:
+                alive = None
+            losses = [self._train_node(int(i)) for i in np.nonzero(mask)[0]]
+            self._aggregate(algorithm.use_allreduce, t)
+            if self.meter is not None:
+                self.meter.record_round(
+                    mask, communicated=alive, comm_scale=self._comm_scale
+                )
+            if self._should_eval(algorithm, t, last_eval):
+                train_loss = float(np.mean(losses)) if losses else float("nan")
+                history.append(
+                    self._evaluate(t, mask, bool(mask.any()), train_loss)
+                )
+                last_eval = t
+        return history
+
+    def _should_eval(self, algorithm: Algorithm, t: int, last_eval: int) -> bool:
+        """Evaluate on the configured cadence, but only at the
+        algorithm's fair evaluation points (the paper evaluates every
+        Γ_train+Γ_sync rounds, after the sync phase — Fig. 4 shows why:
+        accuracy oscillates within a cycle). Also evaluate at the final
+        round if it is a fair point and not yet evaluated."""
+        cfg = self.config
+        if t == cfg.total_rounds:
+            return algorithm.is_eval_point(t) or last_eval == 0
+        return t - last_eval >= cfg.eval_every and algorithm.is_eval_point(t)
+
+    def global_average_accuracy(self) -> float:
+        """Accuracy of the average of all node models (the all-reduce
+        curve of Fig. 1 evaluates this consensus model)."""
+        from .metrics import evaluate_model_vector
+
+        avg = self.state.mean(axis=0)
+        return evaluate_model_vector(self.model, avg, self.test_set)

@@ -1,0 +1,137 @@
+"""Failure injection: crash/recovery churn for robustness studies.
+
+Real IoT/smartphone fleets (the paper's target setting) lose nodes to
+connectivity drops and battery deaths. A failure model produces a
+per-round alive mask; the engine keeps dead nodes frozen (no training,
+no communication) and re-derives Metropolis–Hastings weights on the
+alive-induced subgraph so the mixing step stays symmetric and doubly
+stochastic among the survivors — preserving D-PSGD's convergence
+conditions round by round.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from ..topology.mixing import metropolis_hastings_weights
+
+__all__ = ["FailureModel", "NoFailures", "IndependentCrashes",
+           "CrashWindow", "masked_mixing", "failure_mixing_provider"]
+
+
+class FailureModel:
+    """Interface: which nodes are alive in round ``t`` (1-based)."""
+
+    def alive(self, t: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class NoFailures(FailureModel):
+    """All nodes alive every round (the default)."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        self._mask = np.ones(n_nodes, dtype=bool)
+
+    def alive(self, t: int) -> np.ndarray:
+        return self._mask
+
+
+class IndependentCrashes(FailureModel):
+    """Each node is independently down with probability ``p`` each round
+    (memoryless churn). Draws are memoized per round so repeated queries
+    within a round are consistent."""
+
+    def __init__(self, n_nodes: int, p: float, rng: np.random.Generator) -> None:
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if not 0.0 <= p < 1.0:
+            raise ValueError("p must be in [0, 1)")
+        self.n_nodes = n_nodes
+        self.p = p
+        self.rng = rng
+        self._cache: dict[int, np.ndarray] = {}
+
+    def alive(self, t: int) -> np.ndarray:
+        if t not in self._cache:
+            self._cache[t] = self.rng.random(self.n_nodes) >= self.p
+        return self._cache[t]
+
+
+class CrashWindow(FailureModel):
+    """A fixed set of nodes is down during rounds [start, end]."""
+
+    def __init__(self, n_nodes: int, nodes: list[int],
+                 start: int, end: int) -> None:
+        if start < 1 or end < start:
+            raise ValueError("need 1 <= start <= end")
+        if any(i < 0 or i >= n_nodes for i in nodes):
+            raise ValueError("node id out of range")
+        self.n_nodes = n_nodes
+        self.down = np.zeros(n_nodes, dtype=bool)
+        self.down[list(nodes)] = True
+        self.start = start
+        self.end = end
+
+    def alive(self, t: int) -> np.ndarray:
+        if self.start <= t <= self.end:
+            return ~self.down
+        return np.ones(self.n_nodes, dtype=bool)
+
+
+def masked_mixing(
+    graph: nx.Graph, alive: np.ndarray,
+    cache: dict[bytes, sp.csr_matrix] | None = None,
+) -> sp.csr_matrix:
+    """Mixing matrix with dead nodes isolated.
+
+    Alive nodes mix with Metropolis–Hastings weights over the subgraph
+    induced by the alive set (per connected component); dead nodes get
+    an identity row, freezing their state until they recover. The result
+    is always symmetric and doubly stochastic.
+    """
+    alive = np.asarray(alive, dtype=bool)
+    n = graph.number_of_nodes()
+    if alive.shape != (n,):
+        raise ValueError("alive mask size mismatch")
+    key = alive.tobytes()
+    if cache is not None and key in cache:
+        return cache[key]
+
+    if alive.all():
+        out = metropolis_hastings_weights(graph)
+    else:
+        alive_ids = np.nonzero(alive)[0]
+        sub = graph.subgraph(alive_ids)
+        rows, cols, vals = [], [], []
+        deg = {i: sub.degree(i) for i in alive_ids}
+        for i, j in sub.edges:
+            w = 1.0 / (max(deg[i], deg[j]) + 1.0)
+            rows.extend((i, j))
+            cols.extend((j, i))
+            vals.extend((w, w))
+        w_off = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+        diag = 1.0 - np.asarray(w_off.sum(axis=1)).ravel()
+        out = (w_off + sp.diags(diag)).tocsr()
+
+    if cache is not None:
+        cache[key] = out
+    return out
+
+
+def failure_mixing_provider(
+    graph: nx.Graph, model: FailureModel
+) -> "callable":
+    """Per-round mixing provider for the engine: Metropolis–Hastings on
+    the alive subgraph of ``graph``, with memoization across repeated
+    alive patterns. Pass the result as the engine's ``mixing`` argument
+    together with ``failure_model=model``."""
+    cache: dict[bytes, sp.csr_matrix] = {}
+
+    def provider(t: int) -> sp.csr_matrix:
+        return masked_mixing(graph, model.alive(t), cache)
+
+    return provider

@@ -1,0 +1,141 @@
+"""Evaluation metrics: per-node accuracy, consensus distance, and the
+record container the engine fills in during a run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..nn.functional import accuracy
+from ..nn.module import Module
+from ..nn.serialization import set_parameter_vector
+
+__all__ = [
+    "evaluate_state",
+    "evaluate_model_vector",
+    "consensus_distance",
+    "RoundRecord",
+    "RunHistory",
+]
+
+
+def evaluate_model_vector(
+    model: Module,
+    vec: np.ndarray,
+    dataset: ArrayDataset,
+    batch_size: int = 256,
+) -> float:
+    """Top-1 accuracy of the flat parameter vector ``vec`` on ``dataset``,
+    using ``model`` as a reusable workspace."""
+    set_parameter_vector(model, vec)
+    model.eval()
+    correct = 0
+    n = len(dataset)
+    for start in range(0, n, batch_size):
+        xb = dataset.x[start : start + batch_size]
+        yb = dataset.y[start : start + batch_size]
+        logits = model(xb)
+        correct += int(round(accuracy(logits, yb) * xb.shape[0]))
+    model.train()
+    return correct / n
+
+
+def evaluate_state(
+    model: Module,
+    state: np.ndarray,
+    dataset: ArrayDataset,
+    node_ids: np.ndarray | None = None,
+    batch_size: int = 256,
+) -> tuple[float, float]:
+    """Mean and std of per-node test accuracy (the paper's headline
+    metric). ``node_ids`` restricts evaluation to a subsample of nodes —
+    evaluating all 256 node models every time is the dominant cost of a
+    faithful run, and the mean over a random subsample is unbiased."""
+    n = state.shape[0]
+    ids = np.arange(n) if node_ids is None else np.asarray(node_ids)
+    accs = np.array(
+        [evaluate_model_vector(model, state[i], dataset, batch_size) for i in ids]
+    )
+    return float(accs.mean()), float(accs.std())
+
+
+def consensus_distance(state: np.ndarray) -> float:
+    """Mean squared distance of node models from their average:
+    ``(1/n) Σᵢ ‖xᵢ − x̄‖²``. Synchronization rounds shrink this; training
+    rounds on non-IID data grow it."""
+    mean = state.mean(axis=0, keepdims=True)
+    diff = state - mean
+    return float(np.einsum("ij,ij->", diff, diff) / state.shape[0])
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Metrics snapshot after one evaluated round.
+
+    ``train_loss`` is the mean local training loss over the nodes that
+    trained in the evaluated round (NaN when nobody trained or the
+    engine does not track it).
+    """
+
+    round: int
+    mean_accuracy: float
+    std_accuracy: float
+    consensus: float
+    cumulative_energy_wh: float
+    trained_nodes: int
+    is_training_round: bool
+    train_loss: float = float("nan")
+
+
+@dataclass
+class RunHistory:
+    """Accumulated metrics of one simulation run."""
+
+    algorithm: str
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def rounds(self) -> np.ndarray:
+        return np.array([r.round for r in self.records])
+
+    @property
+    def mean_accuracy(self) -> np.ndarray:
+        return np.array([r.mean_accuracy for r in self.records])
+
+    @property
+    def std_accuracy(self) -> np.ndarray:
+        return np.array([r.std_accuracy for r in self.records])
+
+    @property
+    def consensus(self) -> np.ndarray:
+        return np.array([r.consensus for r in self.records])
+
+    @property
+    def energy_wh(self) -> np.ndarray:
+        return np.array([r.cumulative_energy_wh for r in self.records])
+
+    def final_accuracy(self) -> float:
+        """Mean accuracy at the last evaluated round."""
+        if not self.records:
+            raise ValueError("empty history")
+        return self.records[-1].mean_accuracy
+
+    def best_accuracy(self) -> float:
+        """Best mean accuracy over the run."""
+        if not self.records:
+            raise ValueError("empty history")
+        return float(max(r.mean_accuracy for r in self.records))
+
+    def accuracy_at_energy(self, budget_wh: float) -> float:
+        """Accuracy at the last evaluation whose cumulative energy is
+        within ``budget_wh`` — how Table 4 compares algorithms at equal
+        energy."""
+        eligible = [r for r in self.records if r.cumulative_energy_wh <= budget_wh]
+        if not eligible:
+            raise ValueError(f"no evaluation within budget {budget_wh} Wh")
+        return eligible[-1].mean_accuracy

@@ -1,0 +1,41 @@
+"""Per-node state: local data stream and (optionally) device identity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset, DataLoader
+from ..energy.devices import DeviceProfile
+
+__all__ = ["Node"]
+
+
+@dataclass
+class Node:
+    """One participant in the decentralized network.
+
+    Model *parameters* live in the engine's shared ``(n, dim)`` state
+    matrix, not here — plain SGD is stateless, so nodes only need their
+    data stream, their rng, and their device identity. This keeps
+    memory at one model's worth plus the state matrix, instead of ``n``
+    full model objects.
+    """
+
+    node_id: int
+    dataset: ArrayDataset
+    loader: DataLoader
+    device: DeviceProfile | None = None
+    local_steps_done: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        if len(self.dataset) == 0:
+            raise ValueError(f"node {self.node_id} has an empty dataset")
+
+    def sample_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        """One local mini-batch."""
+        self.local_steps_done += 1
+        return self.loader.sample()

@@ -1,0 +1,49 @@
+"""``repro.topology`` — communication graphs and mixing matrices."""
+
+from .dynamic import PeriodicRewiring, RandomRegularEachRound, static_provider
+from .graphs import (
+    adjacency_matrix,
+    barbell_graph,
+    erdos_renyi_graph,
+    fully_connected_graph,
+    neighbor_lists,
+    regular_graph,
+    ring_graph,
+    small_world_graph,
+    star_graph,
+    torus_graph,
+    validate_topology,
+)
+from .mixing import (
+    consensus_contraction,
+    is_doubly_stochastic,
+    is_symmetric,
+    metropolis_hastings_weights,
+    mixing_time_estimate,
+    spectral_gap,
+    uniform_neighbor_weights,
+)
+
+__all__ = [
+    "regular_graph",
+    "ring_graph",
+    "torus_graph",
+    "fully_connected_graph",
+    "erdos_renyi_graph",
+    "star_graph",
+    "small_world_graph",
+    "barbell_graph",
+    "static_provider",
+    "RandomRegularEachRound",
+    "PeriodicRewiring",
+    "adjacency_matrix",
+    "neighbor_lists",
+    "validate_topology",
+    "metropolis_hastings_weights",
+    "uniform_neighbor_weights",
+    "is_doubly_stochastic",
+    "is_symmetric",
+    "spectral_gap",
+    "mixing_time_estimate",
+    "consensus_contraction",
+]

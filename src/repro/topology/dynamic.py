@@ -1,0 +1,75 @@
+"""Time-varying topologies.
+
+D-PSGD-style analysis extends to changing graphs (Koloskova et al.
+2020), and randomized topologies are known to mix faster than any fixed
+graph of the same degree (the Epidemic Learning observation the paper
+cites as [54]). These providers plug into the engine's per-round
+``mixing`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import scipy.sparse as sp
+
+from .graphs import regular_graph
+from .mixing import metropolis_hastings_weights
+
+__all__ = [
+    "static_provider",
+    "RandomRegularEachRound",
+    "PeriodicRewiring",
+]
+
+
+def static_provider(mixing: sp.spmatrix) -> Callable[[int], sp.spmatrix]:
+    """Wrap a fixed matrix in the provider interface."""
+    csr = mixing.tocsr()
+    return lambda t: csr
+
+
+class RandomRegularEachRound:
+    """A fresh random d-regular graph every round.
+
+    Per-round matrices are cached by round index, so repeated queries
+    (engine + diagnostics) see a consistent graph.
+    """
+
+    def __init__(self, n_nodes: int, degree: int, seed: int = 0,
+                 cache_size: int = 64) -> None:
+        if cache_size <= 0:
+            raise ValueError("cache_size must be positive")
+        self.n_nodes = n_nodes
+        self.degree = degree
+        self.seed = seed
+        self.cache_size = cache_size
+        self._cache: dict[int, sp.csr_matrix] = {}
+
+    def __call__(self, t: int) -> sp.csr_matrix:
+        if t not in self._cache:
+            if len(self._cache) >= self.cache_size:
+                self._cache.pop(min(self._cache))
+            graph = regular_graph(
+                self.n_nodes, self.degree, seed=self.seed + 7919 * t
+            )
+            self._cache[t] = metropolis_hastings_weights(graph)
+        return self._cache[t]
+
+
+class PeriodicRewiring:
+    """Keep the same graph for ``period`` rounds, then rewire.
+
+    Models slower membership/link churn than per-round randomization.
+    """
+
+    def __init__(self, n_nodes: int, degree: int, period: int,
+                 seed: int = 0) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.inner = RandomRegularEachRound(n_nodes, degree, seed=seed)
+        self.period = period
+
+    def __call__(self, t: int) -> sp.csr_matrix:
+        epoch = (t - 1) // self.period + 1
+        return self.inner(epoch)

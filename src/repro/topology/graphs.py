@@ -1,0 +1,163 @@
+"""Communication topologies.
+
+The paper evaluates on random ``d``-regular graphs with ``d`` in
+{6, 8, 10} over 256 nodes; ring/torus/fully-connected/Erdős–Rényi are
+provided for ablations and the all-reduce comparison of Fig. 1.
+
+All constructors return an undirected :class:`networkx.Graph` with nodes
+labelled ``0..n-1``; adjacency helpers convert to the array forms the
+simulator consumes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "regular_graph",
+    "ring_graph",
+    "torus_graph",
+    "fully_connected_graph",
+    "erdos_renyi_graph",
+    "star_graph",
+    "small_world_graph",
+    "barbell_graph",
+    "adjacency_matrix",
+    "neighbor_lists",
+    "validate_topology",
+]
+
+
+def validate_topology(graph: nx.Graph) -> None:
+    """Reject graphs the synchronous round model cannot run on:
+    self-loops, non-contiguous labels, or a disconnected graph
+    (convergence to global consensus requires connectivity)."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise ValueError("empty graph")
+    if sorted(graph.nodes) != list(range(n)):
+        raise ValueError("graph nodes must be labelled 0..n-1")
+    if any(graph.has_edge(u, u) for u in graph.nodes):
+        raise ValueError("self-loops are not allowed")
+    if n > 1 and not nx.is_connected(graph):
+        raise ValueError("graph must be connected")
+
+
+def regular_graph(n: int, degree: int, seed: int = 0) -> nx.Graph:
+    """Random connected ``degree``-regular graph on ``n`` nodes (the
+    paper's topology family). Retries the random construction until a
+    connected instance is found."""
+    if degree >= n:
+        raise ValueError(f"degree {degree} must be < n={n}")
+    if (n * degree) % 2 != 0:
+        raise ValueError(f"n*degree must be even (n={n}, degree={degree})")
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    for attempt in range(100):
+        g = nx.random_regular_graph(degree, n, seed=seed + attempt)
+        if nx.is_connected(g):
+            g = nx.convert_node_labels_to_integers(g)
+            validate_topology(g)
+            return g
+    raise RuntimeError(f"no connected {degree}-regular graph found in 100 tries")
+
+
+def ring_graph(n: int) -> nx.Graph:
+    """Cycle over ``n`` nodes (degree 2): the sparsest connected regular
+    topology, with the worst mixing time — useful as a stress case."""
+    if n < 3:
+        raise ValueError("ring needs at least 3 nodes")
+    g = nx.cycle_graph(n)
+    validate_topology(g)
+    return g
+
+
+def torus_graph(rows: int, cols: int) -> nx.Graph:
+    """2-D periodic grid (degree 4)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs at least 3x3")
+    g = nx.grid_2d_graph(rows, cols, periodic=True)
+    g = nx.convert_node_labels_to_integers(g, ordering="sorted")
+    validate_topology(g)
+    return g
+
+
+def fully_connected_graph(n: int) -> nx.Graph:
+    """Complete graph: one mixing step equals an exact all-reduce."""
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    g = nx.complete_graph(n)
+    validate_topology(g)
+    return g
+
+
+def erdos_renyi_graph(n: int, p: float | None = None, seed: int = 0) -> nx.Graph:
+    """Connected G(n, p); defaults to p slightly above the connectivity
+    threshold ``ln(n)/n``."""
+    if p is None:
+        p = min(1.0, 2.0 * math.log(max(n, 2)) / n)
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    for attempt in range(100):
+        g = nx.erdos_renyi_graph(n, p, seed=seed + attempt)
+        if n == 1 or nx.is_connected(g):
+            validate_topology(g)
+            return g
+    raise RuntimeError("no connected Erdős–Rényi instance found in 100 tries")
+
+
+def star_graph(n: int) -> nx.Graph:
+    """Hub-and-spoke graph: the decentralized degenerate case closest to
+    federated learning's central server."""
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    g = nx.star_graph(n - 1)
+    validate_topology(g)
+    return g
+
+
+def small_world_graph(n: int, k: int = 4, p: float = 0.3,
+                      seed: int = 0) -> nx.Graph:
+    """Connected Watts–Strogatz small-world graph: a ring lattice with
+    each edge rewired with probability ``p`` — interpolates between the
+    slow-mixing ring (p=0) and a random graph (p=1)."""
+    if k >= n:
+        raise ValueError("k must be < n")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    g = nx.connected_watts_strogatz_graph(n, k, p, tries=200, seed=seed)
+    g = nx.convert_node_labels_to_integers(g)
+    validate_topology(g)
+    return g
+
+
+def barbell_graph(clique: int, path: int = 0) -> nx.Graph:
+    """Two cliques joined by a path: the classic worst-case mixing
+    topology (bottleneck edge), used to stress-test sync scheduling."""
+    if clique < 3:
+        raise ValueError("cliques need at least 3 nodes")
+    if path < 0:
+        raise ValueError("path length must be non-negative")
+    g = nx.barbell_graph(clique, path)
+    validate_topology(g)
+    return g
+
+
+def adjacency_matrix(graph: nx.Graph) -> sp.csr_matrix:
+    """Sparse 0/1 adjacency in CSR form (node order 0..n-1)."""
+    validate_topology(graph)
+    return nx.to_scipy_sparse_array(graph, nodelist=range(graph.number_of_nodes()),
+                                    format="csr", dtype=np.float64)
+
+
+def neighbor_lists(graph: nx.Graph) -> list[np.ndarray]:
+    """Per-node sorted neighbor index arrays."""
+    validate_topology(graph)
+    return [
+        np.array(sorted(graph.neighbors(i)), dtype=np.int64)
+        for i in range(graph.number_of_nodes())
+    ]

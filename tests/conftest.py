@@ -1,0 +1,48 @@
+"""Shared fixtures: a tiny experiment preset that runs in well under a
+second, used by the integration-level tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticSpec
+from repro.energy.traces import CIFAR10_WORKLOAD
+from repro.experiments.presets import ExperimentPreset
+from repro.nn import small_mlp
+
+
+def _tiny_model(rng: np.random.Generator):
+    return small_mlp(16, 4, hidden=8, rng=rng)
+
+
+@pytest.fixture
+def tiny_preset() -> ExperimentPreset:
+    """8 nodes, 4 classes, 4x4 images, 24 rounds: seconds-fast."""
+    return ExperimentPreset(
+        name="tiny",
+        n_nodes=8,
+        degrees=(3,),
+        spec=SyntheticSpec(
+            num_classes=4, channels=1, image_size=4,
+            noise_std=1.5, jitter_std=0.4, prototype_resolution=2,
+        ),
+        num_train=400,
+        num_test=120,
+        partition="shard",
+        model_factory=_tiny_model,
+        learning_rate=0.2,
+        batch_size=8,
+        local_steps=2,
+        total_rounds=24,
+        eval_every=8,
+        eval_node_sample=None,
+        workload=CIFAR10_WORKLOAD,
+        battery_fraction=0.001,
+        tuned_schedules={3: (2, 2)},
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

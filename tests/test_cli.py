@@ -1,0 +1,72 @@
+"""CLI tests (invoking main() directly with argv lists)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.preset == "cifar10-bench"
+        assert args.algorithm == "skiptrain"
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "sgd"])
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+
+class TestCommands:
+    def test_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "cifar10-bench" in out
+        assert "femnist-paper" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "89834" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Xiaomi 12 Pro" in out
+
+    def test_run_gamma_validation(self, capsys):
+        assert main(["run", "--gamma-train", "2"]) == 2
+        assert "gamma" in capsys.readouterr().err
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--preset", "cifar10-bench", "--algorithm", "skiptrain",
+            "--degree", "3", "--rounds", "8", "--gamma-train", "2",
+            "--gamma-sync", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total training energy" in out
+        assert "accuracy" in out
+
+    def test_gridsearch_small(self, capsys):
+        code = main([
+            "gridsearch", "--preset", "cifar10-bench", "--degree", "3",
+            "--rounds", "8", "--max-gamma", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best: Γtrain=" in out
+
+    def test_new_subcommands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["fairness"]).command == "fairness"
+        args = parser.parse_args(["sweep", "--seeds", "1", "2"])
+        assert args.seeds == [1, 2]
+        assert parser.parse_args(["convergence"]).command == "convergence"

@@ -1,0 +1,141 @@
+"""Tests for RoundSchedule (Eq. 4) and training probabilities (Eq. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DPSGD_SCHEDULE, BudgetState, RoundSchedule, training_probabilities
+
+
+class TestRoundSchedule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoundSchedule(0, 0)
+        with pytest.raises(ValueError):
+            RoundSchedule(-1, 2)
+
+    def test_dpsgd_schedule_always_trains(self):
+        assert all(DPSGD_SCHEDULE.is_training_round(t) for t in range(1, 100))
+        assert DPSGD_SCHEDULE.training_fraction() == 1.0
+
+    def test_algorithm2_literal_pattern(self):
+        """Line 5 of Algorithm 2: train iff t mod (Γt+Γs) < Γt."""
+        s = RoundSchedule(2, 3)
+        expected = [(t % 5) < 2 for t in range(1, 21)]
+        actual = [s.is_training_round(t) for t in range(1, 21)]
+        assert actual == expected
+
+    def test_rounds_start_at_one(self):
+        with pytest.raises(ValueError):
+            RoundSchedule(1, 1).is_training_round(0)
+
+    @given(st.integers(1, 6), st.integers(0, 6), st.integers(1, 500))
+    @settings(max_examples=50)
+    def test_training_rounds_close_to_eq4(self, gt, gs, total):
+        """Exact count differs from the closed form by < one period."""
+        s = RoundSchedule(gt, gs)
+        exact = s.training_rounds(total)
+        eq4 = s.max_training_rounds(total)
+        assert abs(exact - eq4) <= s.period
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=25)
+    def test_training_fraction_limit(self, gt, gs):
+        s = RoundSchedule(gt, gs)
+        total = 1000 * s.period
+        assert s.training_rounds(total) / total == pytest.approx(
+            s.training_fraction(), abs=0.01
+        )
+
+    def test_paper_t_train_values(self):
+        """§4.3: T_train = 500 for Γ=(4,4) and (3,3); 666⌈667⌉ for (4,2)."""
+        assert RoundSchedule(4, 4).max_training_rounds(1000) == 500
+        assert RoundSchedule(3, 3).max_training_rounds(1000) == 500
+        assert RoundSchedule(4, 2).max_training_rounds(1000) == 667
+
+    def test_cycle_end_detection(self):
+        s = RoundSchedule(2, 2)
+        # pattern (1-based): t=1,2? 1%4=1<2 T; 2%4=2 S; 3%4=3 S; 4%4=0 T...
+        ends = [t for t in range(1, 13) if s.is_cycle_end(t)]
+        for t in ends:
+            assert not s.is_training_round(t)
+            assert s.is_training_round(t + 1)
+
+    def test_cycle_end_without_sync_rounds(self):
+        assert DPSGD_SCHEDULE.is_cycle_end(1)
+        assert DPSGD_SCHEDULE.is_cycle_end(17)
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=25)
+    def test_one_cycle_end_per_period(self, gt, gs):
+        s = RoundSchedule(gt, gs)
+        window = range(s.period + 1, 5 * s.period + 1)
+        ends = sum(s.is_cycle_end(t) for t in window)
+        assert ends == 4
+
+
+class TestTrainingProbabilities:
+    def test_eq5(self):
+        s = RoundSchedule(1, 1)
+        probs = training_probabilities(np.array([25, 50, 100, 200]), s, 100)
+        # T_train = 50
+        np.testing.assert_allclose(probs, [0.5, 1.0, 1.0, 1.0])
+
+    def test_zero_budget_zero_probability(self):
+        s = RoundSchedule(1, 1)
+        probs = training_probabilities(np.array([0, 10]), s, 100)
+        assert probs[0] == 0.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            training_probabilities(np.array([-1]), RoundSchedule(1, 1), 10)
+
+    @given(
+        st.lists(st.integers(0, 1000), min_size=1, max_size=20),
+        st.integers(1, 4),
+        st.integers(1, 4),
+        st.integers(10, 2000),
+    )
+    @settings(max_examples=50)
+    def test_probabilities_in_unit_interval(self, budgets, gt, gs, total):
+        probs = training_probabilities(
+            np.array(budgets), RoundSchedule(gt, gs), total
+        )
+        assert ((probs >= 0) & (probs <= 1)).all()
+
+    def test_expected_training_rounds_respect_budget(self):
+        """E[#training rounds] = p_i * T_train ≤ τ_i."""
+        s = RoundSchedule(4, 4)
+        total = 1000
+        budgets = np.array([100, 400, 700])
+        probs = training_probabilities(budgets, s, total)
+        t_train = s.max_training_rounds(total)
+        expected = probs * t_train
+        assert (expected <= budgets + 1e-9).all()
+
+
+class TestBudgetState:
+    def test_spend_decrements(self):
+        state = BudgetState(np.array([2, 3]))
+        state.spend(np.array([True, False]))
+        np.testing.assert_array_equal(state.remaining, [1, 3])
+        np.testing.assert_array_equal(state.spent(), [1, 0])
+
+    def test_can_train_mask(self):
+        state = BudgetState(np.array([1, 0]))
+        np.testing.assert_array_equal(state.can_train(), [True, False])
+
+    def test_overspend_raises(self):
+        state = BudgetState(np.array([0]))
+        with pytest.raises(RuntimeError):
+            state.spend(np.array([True]))
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetState(np.array([-1]))
+
+    def test_shape_mismatch(self):
+        state = BudgetState(np.array([1, 1]))
+        with pytest.raises(ValueError):
+            state.spend(np.array([True]))

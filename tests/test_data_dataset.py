@@ -1,0 +1,110 @@
+"""Tests for ArrayDataset and DataLoader."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader
+
+
+def make_ds(n=20, k=4, rng=None):
+    rng = rng or np.random.default_rng(0)
+    return ArrayDataset(rng.normal(size=(n, 2, 3, 3)), np.arange(n) % k, k)
+
+
+class TestArrayDataset:
+    def test_len_and_counts(self):
+        ds = make_ds(20, 4)
+        assert len(ds) == 20
+        np.testing.assert_array_equal(ds.class_counts(), [5, 5, 5, 5])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros(4, dtype=int), 2)
+
+    def test_labels_out_of_range(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.array([0, 1, 5]), 2)
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.array([0, -1, 1]), 2)
+
+    def test_labels_must_be_1d(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 2)), np.zeros((3, 1), dtype=int), 2)
+
+    def test_subset(self):
+        ds = make_ds()
+        sub = ds.subset(np.array([0, 4, 8]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.y, ds.y[[0, 4, 8]])
+
+    def test_split_disjoint_and_complete(self, rng):
+        ds = make_ds(40)
+        a, b = ds.split(0.5, rng)
+        assert len(a) == 20 and len(b) == 20
+        # all samples accounted for (match rows by value)
+        combined = np.sort(np.concatenate([a.x.reshape(20, -1).sum(axis=1),
+                                           b.x.reshape(20, -1).sum(axis=1)]))
+        original = np.sort(ds.x.reshape(40, -1).sum(axis=1))
+        np.testing.assert_allclose(combined, original)
+
+    def test_split_invalid_fraction(self, rng):
+        ds = make_ds()
+        with pytest.raises(ValueError):
+            ds.split(0.0, rng)
+        with pytest.raises(ValueError):
+            ds.split(1.0, rng)
+
+
+class TestDataLoader:
+    def test_sample_shapes(self, rng):
+        ds = make_ds(20)
+        loader = DataLoader(ds, batch_size=8, rng=rng)
+        x, y = loader.sample()
+        assert x.shape[0] == 8 and y.shape == (8,)
+
+    def test_sample_caps_at_dataset_size(self, rng):
+        ds = make_ds(5)
+        loader = DataLoader(ds, batch_size=100, rng=rng)
+        x, y = loader.sample()
+        assert x.shape[0] == 5
+
+    def test_sample_no_replacement_within_batch(self, rng):
+        ds = ArrayDataset(np.arange(10)[:, None].astype(float), np.zeros(10, dtype=int), 1)
+        loader = DataLoader(ds, batch_size=10, rng=rng)
+        x, _ = loader.sample()
+        assert len(np.unique(x)) == 10
+
+    def test_epoch_iteration_covers_dataset(self, rng):
+        ds = ArrayDataset(np.arange(10)[:, None].astype(float), np.zeros(10, dtype=int), 1)
+        loader = DataLoader(ds, batch_size=3, rng=rng)
+        seen = np.concatenate([x.ravel() for x, _ in loader])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(10))
+
+    def test_drop_last(self, rng):
+        ds = make_ds(10)
+        loader = DataLoader(ds, batch_size=4, rng=rng, drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 2
+        assert len(loader) == 2
+
+    def test_len_without_drop_last(self, rng):
+        ds = make_ds(10)
+        assert len(DataLoader(ds, batch_size=4, rng=rng)) == 3
+
+    def test_deterministic_given_seed(self):
+        ds = make_ds(20)
+        l1 = DataLoader(ds, 8, rng=np.random.default_rng(3))
+        l2 = DataLoader(ds, 8, rng=np.random.default_rng(3))
+        x1, y1 = l1.sample()
+        x2, y2 = l2.sample()
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_rejects_empty_dataset(self, rng):
+        ds = ArrayDataset(np.zeros((0, 2)), np.zeros(0, dtype=int), 2)
+        with pytest.raises(ValueError):
+            DataLoader(ds, 4, rng=rng)
+
+    def test_rejects_bad_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            DataLoader(make_ds(), 0, rng=rng)

@@ -1,0 +1,100 @@
+"""Tests for feature standardization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    ArrayDataset,
+    Standardizer,
+    fit_standardizer,
+    iid_partition,
+    partition_datasets,
+    per_node_standardizers,
+)
+
+
+def make_images(rng, n=60, c=3, size=4, loc=2.0, scale=3.0):
+    x = rng.normal(loc=loc, scale=scale, size=(n, c, size, size))
+    return ArrayDataset(x, np.arange(n) % 4, 4)
+
+
+class TestFitAndTransform:
+    def test_train_becomes_standard(self, rng):
+        ds = make_images(rng)
+        std = fit_standardizer(ds)
+        out = std.apply(ds)
+        np.testing.assert_allclose(out.x.mean(axis=(0, 2, 3)), 0.0,
+                                   atol=1e-10)
+        np.testing.assert_allclose(out.x.std(axis=(0, 2, 3)), 1.0,
+                                   atol=1e-10)
+
+    def test_flat_data(self, rng):
+        x = rng.normal(loc=5, scale=2, size=(100, 8))
+        ds = ArrayDataset(x, np.zeros(100, dtype=int), 1)
+        std = fit_standardizer(ds)
+        out = std.apply(ds)
+        np.testing.assert_allclose(out.x.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_inverse_roundtrip(self, rng):
+        ds = make_images(rng)
+        std = fit_standardizer(ds)
+        back = std.inverse(std.transform(ds.x))
+        np.testing.assert_allclose(back, ds.x, atol=1e-10)
+
+    def test_same_stats_applied_to_test(self, rng):
+        train = make_images(rng, loc=2.0)
+        test = make_images(rng, loc=10.0)  # shifted test distribution
+        std = fit_standardizer(train)
+        out = std.apply(test)
+        # the shift survives: no leakage of test statistics
+        assert out.x.mean() > 1.0
+
+    def test_constant_feature_guarded(self, rng):
+        x = np.ones((10, 2, 2, 2))
+        ds = ArrayDataset(x, np.zeros(10, dtype=int), 1)
+        std = fit_standardizer(ds)
+        out = std.transform(x)
+        assert np.isfinite(out).all()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20)
+    def test_transform_is_affine(self, seed):
+        rng = np.random.default_rng(seed)
+        ds = make_images(rng, n=30)
+        std = fit_standardizer(ds)
+        a, b = ds.x[:5], ds.x[5:10]
+        lhs = std.transform((a + b) / 2)
+        rhs = (std.transform(a) + std.transform(b)) / 2
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+
+class TestValidation:
+    def test_bad_std_rejected(self):
+        with pytest.raises(ValueError):
+            Standardizer(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            Standardizer(np.zeros(3), np.ones(2))
+
+    def test_bad_ndim(self, rng):
+        std = Standardizer(np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError):
+            std.transform(rng.normal(size=(3,)))
+
+
+class TestPerNode:
+    def test_one_per_node(self, rng):
+        ds = make_images(rng, n=80)
+        parts = partition_datasets(ds, iid_partition(80, 4, rng))
+        stds = per_node_standardizers(parts)
+        assert len(stds) == 4
+        # fitted locally: each node's own shard standardizes to zero mean
+        for std, part in zip(stds, parts):
+            out = std.apply(part)
+            np.testing.assert_allclose(out.x.mean(axis=(0, 2, 3)), 0.0,
+                                       atol=1e-10)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            per_node_standardizers([])

@@ -1,0 +1,222 @@
+"""Energy-substrate tests: Table 2 reproduction, Eq. 2–3 accounting,
+and the §1 training≫communication claim."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import (
+    CIFAR10_WORKLOAD,
+    FEMNIST_WORKLOAD,
+    PAPER_BATTERY_FRACTION,
+    PAPER_DEVICES,
+    EnergyMeter,
+    WorkloadSpec,
+    assign_devices_round_robin,
+    budget_rounds,
+    build_trace,
+    communication_energy_wh,
+    device_by_name,
+    per_round_energy_mwh,
+    per_round_energy_wh,
+    round_duration_s,
+    table2_rows,
+)
+
+# Table 2 of the paper, verbatim.
+PAPER_TABLE2 = {
+    "Xiaomi 12 Pro": (6.5, 22, 272, 413),
+    "Samsung Galaxy S22 Ultra": (6, 20, 324, 492),
+    "OnePlus Nord 2 5G": (2.6, 8.4, 681, 1034),
+    "Xiaomi Poco X3": (8.5, 28, 272, 413),
+}
+
+
+class TestTable2Reproduction:
+    def test_cifar_mwh_match_paper(self):
+        for row in table2_rows():
+            paper_mwh = PAPER_TABLE2[row.device][0]
+            assert row.cifar10_mwh == pytest.approx(paper_mwh, rel=0.01)
+
+    def test_femnist_mwh_close_to_paper(self):
+        # the paper rounds its FEMNIST column to 2 significant digits
+        for row in table2_rows():
+            paper_mwh = PAPER_TABLE2[row.device][1]
+            assert row.femnist_mwh == pytest.approx(paper_mwh, rel=0.05)
+
+    def test_round_budgets_match_paper_exactly(self):
+        for row in table2_rows():
+            _, _, cifar_rounds, femnist_rounds = PAPER_TABLE2[row.device]
+            assert row.cifar10_rounds == cifar_rounds, row.device
+            assert row.femnist_rounds == femnist_rounds, row.device
+
+
+class TestTracePipeline:
+    def test_duration_scales_linearly_with_params(self):
+        dev = PAPER_DEVICES[0]
+        w1 = WorkloadSpec("a", 1000, 5, 8, 10)
+        w2 = WorkloadSpec("b", 2000, 5, 8, 10)
+        assert round_duration_s(dev, w2) == pytest.approx(
+            2 * round_duration_s(dev, w1)
+        )
+
+    @given(st.integers(1, 50), st.integers(1, 64))
+    @settings(max_examples=20)
+    def test_duration_scales_with_steps_and_batch(self, steps, batch):
+        dev = PAPER_DEVICES[1]
+        base = WorkloadSpec("a", 10_000, 1, 1, 10)
+        scaled = WorkloadSpec("b", 10_000, steps, batch, 10)
+        assert round_duration_s(dev, scaled) == pytest.approx(
+            steps * batch * round_duration_s(dev, base)
+        )
+
+    def test_energy_is_power_times_time(self):
+        for dev in PAPER_DEVICES:
+            wh = per_round_energy_wh(dev, CIFAR10_WORKLOAD)
+            assert wh == pytest.approx(
+                dev.training_power_w * round_duration_s(dev, CIFAR10_WORKLOAD) / 3600
+            )
+
+    def test_femnist_more_expensive_than_cifar(self):
+        for dev in PAPER_DEVICES:
+            assert per_round_energy_mwh(dev, FEMNIST_WORKLOAD) > per_round_energy_mwh(
+                dev, CIFAR10_WORKLOAD
+            )
+
+    def test_section1_claim_training_200x_communication(self):
+        """256 CIFAR nodes, 1000 rounds: ≈1.51 kWh training vs ≈7 Wh comm."""
+        devs = assign_devices_round_robin(256)
+        train = sum(per_round_energy_wh(d, CIFAR10_WORKLOAD) for d in devs) * 1000
+        comm = sum(communication_energy_wh(d, CIFAR10_WORKLOAD, 6) for d in devs) * 1000
+        assert train == pytest.approx(1510, rel=0.01)
+        assert comm == pytest.approx(7, rel=0.15)
+        assert train / comm > 200
+
+    def test_communication_scales_with_degree(self):
+        dev = PAPER_DEVICES[0]
+        e6 = communication_energy_wh(dev, CIFAR10_WORKLOAD, 6)
+        e12 = communication_energy_wh(dev, CIFAR10_WORKLOAD, 12)
+        assert e12 == pytest.approx(2 * e6)
+
+    def test_validation(self):
+        dev = PAPER_DEVICES[0]
+        with pytest.raises(ValueError):
+            communication_energy_wh(dev, CIFAR10_WORKLOAD, -1)
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", 0, 1, 1, 1)
+        with pytest.raises(KeyError):
+            device_by_name("iPhone 27")
+
+    def test_device_by_name_case_insensitive(self):
+        assert device_by_name("xiaomi 12 pro").name == "Xiaomi 12 Pro"
+
+
+class TestBudgets:
+    def test_budget_rounds_formula(self):
+        dev = PAPER_DEVICES[0]
+        tau = budget_rounds(dev, CIFAR10_WORKLOAD, 0.10)
+        per = per_round_energy_wh(dev, CIFAR10_WORKLOAD)
+        assert tau == int(0.10 * dev.battery_wh / per)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            budget_rounds(PAPER_DEVICES[0], CIFAR10_WORKLOAD, 0.0)
+        with pytest.raises(ValueError):
+            budget_rounds(PAPER_DEVICES[0], CIFAR10_WORKLOAD, 1.5)
+
+    def test_paper_fractions(self):
+        assert PAPER_BATTERY_FRACTION["CIFAR-10"] == 0.10
+        assert PAPER_BATTERY_FRACTION["FEMNIST"] == 0.50
+
+
+class TestBuildTrace:
+    def test_round_robin_assignment(self):
+        trace = build_trace(8, CIFAR10_WORKLOAD, 0.1)
+        names = [d.name for d in trace.devices]
+        assert names[:4] == [d.name for d in PAPER_DEVICES]
+        assert names[4:] == names[:4]
+
+    def test_budgets_positive(self):
+        trace = build_trace(8, CIFAR10_WORKLOAD, 0.1)
+        assert (trace.budget_rounds > 0).all()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            build_trace(4, CIFAR10_WORKLOAD, 0.0)
+
+    def test_explicit_devices(self):
+        devs = (PAPER_DEVICES[0],) * 3
+        trace = build_trace(3, CIFAR10_WORKLOAD, 0.1, devices=devs)
+        assert len(set(d.name for d in trace.devices)) == 1
+        with pytest.raises(ValueError):
+            build_trace(4, CIFAR10_WORKLOAD, 0.1, devices=devs)
+
+
+class TestEnergyMeter:
+    def make_meter(self, n=4):
+        return EnergyMeter(build_trace(n, CIFAR10_WORKLOAD, 0.1))
+
+    def test_accumulates_training(self):
+        meter = self.make_meter()
+        all_on = np.ones(4, dtype=bool)
+        meter.record_round(all_on)
+        meter.record_round(all_on)
+        expected = 2 * meter.trace.train_energy_wh.sum()
+        assert meter.total_train_wh == pytest.approx(expected)
+
+    def test_partial_mask(self):
+        meter = self.make_meter()
+        mask = np.array([True, False, True, False])
+        meter.record_round(mask)
+        expected = meter.trace.train_energy_wh[[0, 2]].sum()
+        assert meter.total_train_wh == pytest.approx(expected)
+        np.testing.assert_array_equal(meter.train_rounds, [1, 0, 1, 0])
+
+    def test_communication_every_round(self):
+        meter = self.make_meter()
+        meter.record_round(np.zeros(4, dtype=bool))
+        assert meter.total_comm_wh == pytest.approx(
+            meter.trace.comm_energy_wh.sum()
+        )
+        assert meter.total_train_wh == 0.0
+
+    def test_cumulative_history_monotone(self):
+        meter = self.make_meter()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            meter.record_round(rng.random(4) < 0.5)
+        hist = meter.cumulative_total_wh()
+        assert hist.shape == (10,)
+        assert (np.diff(hist) >= 0).all()
+
+    def test_budget_tracking(self):
+        meter = self.make_meter()
+        budgets = meter.trace.budget_rounds.copy()
+        all_on = np.ones(4, dtype=bool)
+        for _ in range(int(budgets.min())):
+            meter.record_round(all_on)
+        assert meter.budget_exhausted().any()
+        np.testing.assert_array_equal(
+            meter.remaining_budget_rounds(), np.maximum(budgets - budgets.min(), 0)
+        )
+
+    def test_shape_validation(self):
+        meter = self.make_meter()
+        with pytest.raises(ValueError):
+            meter.record_round(np.ones(3, dtype=bool))
+        with pytest.raises(ValueError):
+            meter.record_round(np.ones(4, dtype=bool), np.ones(5, dtype=bool))
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=30))
+    @settings(max_examples=20, deadline=None)
+    def test_total_equals_sum_of_parts(self, masks):
+        """Eq. 3: total = Σ_t Σ_i E_i^t, for arbitrary participation."""
+        meter = self.make_meter()
+        expected = 0.0
+        for m in masks:
+            mask = np.array([(m >> i) & 1 for i in range(4)], dtype=bool)
+            meter.record_round(mask)
+            expected += meter.trace.train_energy_wh[mask].sum()
+            expected += meter.trace.comm_energy_wh.sum()
+        assert meter.total_wh == pytest.approx(expected)

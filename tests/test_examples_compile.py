@@ -1,0 +1,36 @@
+"""Every example script must at least compile and expose a main()."""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles_and_has_main(path):
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    compile(tree, str(path), "exec")
+    func_names = {
+        node.name for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in func_names, f"{path.name} lacks a main() entry point"
+    assert '__main__' in source, f"{path.name} lacks an if-main guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_docstring(path):
+    tree = ast.parse(path.read_text())
+    doc = ast.get_docstring(tree)
+    assert doc and len(doc) > 40, f"{path.name} needs a real module docstring"

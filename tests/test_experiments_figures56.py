@@ -1,0 +1,79 @@
+"""Tiny-scale structure tests for the Figure 5/6 and Table 3/4 runners
+(their full-scale behaviour is exercised by the benchmarks)."""
+
+import pytest
+
+from repro.experiments import figure5, figure6, table3, table4
+
+
+@pytest.fixture(scope="module")
+def fig5(tiny_preset_module):
+    return figure5(tiny_preset_module, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_preset_module():
+    # module-scoped copy of the conftest tiny preset (function-scoped
+    # fixtures cannot back module-scoped ones)
+    import numpy as np
+
+    from repro.data.synthetic import SyntheticSpec
+    from repro.energy.traces import CIFAR10_WORKLOAD
+    from repro.experiments.presets import ExperimentPreset
+    from repro.nn import small_mlp
+
+    return ExperimentPreset(
+        name="tiny-mod",
+        n_nodes=8,
+        degrees=(3,),
+        spec=SyntheticSpec(num_classes=4, channels=1, image_size=4,
+                           noise_std=1.5, jitter_std=0.4,
+                           prototype_resolution=2),
+        num_train=400,
+        num_test=120,
+        partition="shard",
+        model_factory=lambda rng: small_mlp(16, 4, hidden=8, rng=rng),
+        learning_rate=0.2,
+        batch_size=8,
+        local_steps=2,
+        total_rounds=24,
+        eval_every=8,
+        eval_node_sample=None,
+        workload=CIFAR10_WORKLOAD,
+        battery_fraction=0.001,
+        tuned_schedules={3: (2, 2)},
+    )
+
+
+class TestFigure5Table3:
+    def test_structure(self, fig5, tiny_preset_module):
+        assert fig5.degrees == (3,)
+        assert set(fig5.dpsgd) == {3} and set(fig5.skiptrain) == {3}
+        assert "SkipTrain" in fig5.render()
+
+    def test_table3_from_figure5(self, fig5):
+        from repro.experiments.tables import Table3Result
+
+        t3 = Table3Result(figure5=fig5)
+        rows = t3.rows()
+        assert len(rows) == 2
+        assert rows[0][0] == "SkipTrain"
+        assert t3.energy_ratio(3) == pytest.approx(2.0, rel=0.1)
+        assert "Table 3" in t3.render()
+
+
+class TestFigure6Table4:
+    def test_structure_and_budget_semantics(self, tiny_preset_module):
+        f6 = figure6(tiny_preset_module, seed=0)
+        budget = f6.budget_wh(3)
+        assert budget > 0
+        accs = f6.accuracy_at_budget(3)
+        assert set(accs) == {"SkipTrain-constrained", "Greedy", "D-PSGD"}
+        assert all(0.0 <= v <= 1.0 for v in accs.values())
+        assert "constrained" in f6.render()
+
+        from repro.experiments.tables import Table4Result
+
+        t4 = Table4Result(figure6=f6)
+        assert len(t4.rows()) == 3
+        t4.ordering_holds(3)  # executes; outcome is scale-dependent

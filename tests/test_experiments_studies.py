@@ -1,0 +1,113 @@
+"""Tests for the study-level experiments: convergence, fairness, sweep,
+and the validation-split protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import RoundSchedule
+from repro.experiments import (
+    compare_algorithms,
+    convergence_study,
+    fairness_study,
+    prepare,
+    run_algorithm,
+    seed_sweep,
+)
+
+
+class TestValidationProtocol:
+    def test_val_and_test_disjoint_and_half(self, tiny_preset):
+        prep = prepare(tiny_preset, 3, seed=0)
+        total = tiny_preset.num_test
+        assert len(prep.validation) + len(prep.test) == total
+        assert abs(len(prep.validation) - total // 2) <= 1
+        # disjoint: fingerprint rows by their sums
+        val_keys = set(np.round(prep.validation.x.reshape(
+            len(prep.validation), -1).sum(axis=1), 6))
+        test_keys = set(np.round(prep.test.x.reshape(
+            len(prep.test), -1).sum(axis=1), 6))
+        assert not (val_keys & test_keys)
+
+    def test_eval_on_validation_differs_from_test(self, tiny_preset):
+        prep = prepare(tiny_preset, 3, seed=0)
+        on_test = run_algorithm(prep, "d-psgd", eval_on="test")
+        on_val = run_algorithm(prep, "d-psgd", eval_on="validation")
+        # same training trajectory, different evaluation split: the
+        # accuracies are generally not identical
+        assert on_test.history.rounds.tolist() == on_val.history.rounds.tolist()
+
+    def test_invalid_eval_on(self, tiny_preset):
+        prep = prepare(tiny_preset, 3, seed=0)
+        with pytest.raises(ValueError):
+            run_algorithm(prep, "d-psgd", eval_on="train")
+
+
+class TestTrainLossTracking:
+    def test_training_round_records_loss(self, tiny_preset):
+        prep = prepare(tiny_preset, 3, seed=0)
+        res = run_algorithm(prep, "d-psgd")
+        losses = [r.train_loss for r in res.history.records]
+        assert all(np.isfinite(losses))
+        assert all(l > 0 for l in losses)
+
+    def test_sync_round_loss_is_nan(self, tiny_preset):
+        prep = prepare(tiny_preset, 3, seed=0)
+        res = run_algorithm(prep, "skiptrain",
+                            schedule=RoundSchedule(1, 3))
+        sync_records = [r for r in res.history.records
+                        if not r.is_training_round]
+        assert sync_records, "schedule (1,3) must produce sync evals"
+        assert all(np.isnan(r.train_loss) for r in sync_records)
+
+
+class TestConvergenceStudy:
+    def test_structure_and_mechanism(self, tiny_preset):
+        res = convergence_study(tiny_preset, seed=0)
+        assert set(res.histories) == {"d-psgd", "skiptrain",
+                                      "d-psgd-allreduce"}
+        assert res.final_consensus("d-psgd-allreduce") < 1e-12
+        text = res.render()
+        assert "consensus" in text
+
+    def test_contraction_rates_finite(self, tiny_preset):
+        res = convergence_study(tiny_preset, seed=0)
+        for name in res.histories:
+            assert np.isfinite(res.contraction(name)) or (
+                res.contraction(name) == 0.0
+            )
+
+
+class TestFairnessStudy:
+    def test_unconstrained_is_equal(self, tiny_preset):
+        res = fairness_study(tiny_preset, seed=0)
+        assert res.gini["skiptrain"] == 0.0
+        assert "Gini" in res.render()
+        report = res.reports["skiptrain-constrained"]
+        assert len(report.device_names) == 4
+
+
+class TestSeedSweep:
+    def test_cell_aggregation(self, tiny_preset):
+        cell = seed_sweep(tiny_preset, "d-psgd", seeds=(0, 1))
+        assert cell.n_seeds == 2
+        assert 0.0 <= cell.mean_accuracy <= 1.0
+        assert cell.std_accuracy >= 0.0
+        assert cell.mean_energy_wh > 0.0
+
+    def test_seeds_actually_vary(self, tiny_preset):
+        cell = seed_sweep(tiny_preset, "d-psgd", seeds=(0, 1, 2))
+        assert len(set(cell.accuracies)) > 1
+
+    def test_compare_and_render(self, tiny_preset):
+        res = compare_algorithms(
+            tiny_preset, ("d-psgd", "skiptrain"), seeds=(0, 1)
+        )
+        assert set(res.cells) == {"d-psgd", "skiptrain"}
+        text = res.render()
+        assert "Seed sweep" in text
+        # significance check runs (outcome is data-dependent)
+        res.significant_gap("skiptrain", "d-psgd")
+
+    def test_empty_seeds_rejected(self, tiny_preset):
+        with pytest.raises(ValueError):
+            seed_sweep(tiny_preset, "d-psgd", seeds=())

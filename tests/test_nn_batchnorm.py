@@ -1,0 +1,63 @@
+"""BatchNorm2d tests: statistics, gradients, train/eval behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2d
+from tests.test_nn_layers import check_input_grad, check_param_grad
+
+
+class TestBatchNormForward:
+    def test_normalizes_in_training(self, rng):
+        bn = BatchNorm2d(3)
+        x = rng.normal(loc=4.0, scale=2.0, size=(8, 3, 5, 5))
+        out = bn.forward(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm2d(2, momentum=0.2)
+        for _ in range(200):
+            bn.forward(rng.normal(loc=3.0, scale=1.5, size=(16, 2, 4, 4)))
+        np.testing.assert_allclose(bn.running_mean, 3.0, atol=0.2)
+        np.testing.assert_allclose(bn.running_var, 1.5**2, atol=0.4)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        for _ in range(50):
+            bn.forward(rng.normal(loc=1.0, size=(16, 2, 4, 4)))
+        bn.eval()
+        # an eval batch with a wildly different mean is NOT re-centered
+        x = rng.normal(loc=10.0, size=(4, 2, 4, 4))
+        out = bn.forward(x)
+        assert out.mean() > 5.0
+
+    def test_buffers_not_in_parameters(self):
+        bn = BatchNorm2d(4)
+        assert bn.num_parameters() == 8  # gamma + beta only
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(0)
+        with pytest.raises(ValueError):
+            BatchNorm2d(4, momentum=0.0)
+        bn = BatchNorm2d(2)
+        with pytest.raises(ValueError):
+            bn.forward(np.zeros((2, 3, 4, 4)))
+
+
+class TestBatchNormBackward:
+    def test_input_grad(self, rng):
+        bn = BatchNorm2d(3)
+        check_input_grad(bn, rng.normal(size=(4, 3, 3, 3)), tol=1e-5)
+
+    def test_param_grad(self, rng):
+        bn = BatchNorm2d(2)
+        check_param_grad(bn, rng.normal(size=(3, 2, 3, 3)), tol=1e-5)
+
+    def test_backward_requires_training_forward(self, rng):
+        bn = BatchNorm2d(2)
+        bn.eval()
+        bn.forward(rng.normal(size=(2, 2, 3, 3)))
+        with pytest.raises(RuntimeError):
+            bn.backward(np.ones((2, 2, 3, 3)))

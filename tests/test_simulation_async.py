@@ -1,0 +1,129 @@
+"""Asynchronous gossip engine tests (§5.3 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RoundSchedule
+from repro.data import make_classification_images, shard_partition
+from repro.data.synthetic import SyntheticSpec
+from repro.energy import CIFAR10_WORKLOAD, build_trace
+from repro.nn import small_mlp
+from repro.simulation import (
+    AsyncDPSGD,
+    AsyncGossipEngine,
+    AsyncSkipTrain,
+    AsyncSkipTrainConstrained,
+    RngFactory,
+    build_nodes,
+)
+from repro.topology import neighbor_lists, regular_graph
+
+N = 8
+SPEC = SyntheticSpec(num_classes=4, channels=1, image_size=4,
+                     noise_std=1.0, jitter_std=0.3, prototype_resolution=2)
+
+
+def make_engine(seed=0, with_trace=True):
+    rngs = RngFactory(seed)
+    train, protos = make_classification_images(SPEC, 400, rngs.stream("data"))
+    test, _ = make_classification_images(SPEC, 100, rngs.stream("test"),
+                                         prototypes=protos)
+    parts = shard_partition(train.y, N, rng=rngs.stream("partition"))
+    nodes = build_nodes(train, parts, 8, rngs)
+    graph = regular_graph(N, 3, seed=0)
+    model = small_mlp(16, 4, hidden=8, rng=rngs.stream("model"))
+    trace = build_trace(N, CIFAR10_WORKLOAD, 0.1) if with_trace else None
+    return AsyncGossipEngine(
+        model, nodes, neighbor_lists(graph), test,
+        local_steps=2, learning_rate=0.2, rng=rngs.stream("events"),
+        trace=trace,
+    )
+
+
+class TestAsyncEngine:
+    def test_runs_and_learns(self):
+        eng = make_engine()
+        h = eng.run(AsyncDPSGD(), activations_per_node=24)
+        assert h.final_accuracy() > 0.4  # chance = 0.25
+        assert len(h.records) >= 1
+
+    def test_activation_counts_balanced(self):
+        eng = make_engine()
+        eng.run(AsyncDPSGD(), activations_per_node=30)
+        counts = eng.activation_counts
+        assert counts.sum() == N * 30
+        # Poisson clocks at equal rate: roughly equal activation shares
+        assert counts.min() > 0.4 * counts.mean()
+
+    def test_gossip_preserves_global_mean(self, rng):
+        eng = make_engine()
+        eng.state = rng.normal(size=eng.state.shape)
+        mean = eng.state.mean(axis=0).copy()
+        for i in range(N):
+            eng._gossip(i)
+        np.testing.assert_allclose(eng.state.mean(axis=0), mean, atol=1e-12)
+
+    def test_deterministic(self):
+        h1 = make_engine(seed=4).run(AsyncDPSGD(), activations_per_node=16)
+        h2 = make_engine(seed=4).run(AsyncDPSGD(), activations_per_node=16)
+        assert h1.final_accuracy() == h2.final_accuracy()
+
+    def test_event_times_increase(self):
+        eng = make_engine()
+        h = eng.run(AsyncDPSGD(), activations_per_node=20, eval_every=40)
+        times = [r.time for r in h.records]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_validation(self):
+        eng = make_engine()
+        with pytest.raises(ValueError):
+            eng.run(AsyncDPSGD(), activations_per_node=0)
+
+
+class TestAsyncPolicies:
+    def test_async_skiptrain_halves_training(self):
+        e1 = make_engine(seed=2)
+        e1.run(AsyncDPSGD(), activations_per_node=32)
+        e2 = make_engine(seed=2)
+        e2.run(AsyncSkipTrain(RoundSchedule(2, 2)), activations_per_node=32)
+        ratio = e1.train_counts.sum() / e2.train_counts.sum()
+        assert ratio == pytest.approx(2.0, rel=0.15)
+        assert e1.train_energy_wh > e2.train_energy_wh
+
+    def test_async_skiptrain_energy_tracks_counts(self):
+        eng = make_engine(seed=3)
+        eng.run(AsyncSkipTrain(RoundSchedule(1, 1)), activations_per_node=20)
+        expected = (eng.train_counts * eng.trace.train_energy_wh).sum()
+        assert eng.train_energy_wh == pytest.approx(expected)
+
+    def test_constrained_respects_budgets(self):
+        budgets = np.array([2, 3, 100, 0, 2, 3, 100, 0])
+        policy = AsyncSkipTrainConstrained(
+            RoundSchedule(1, 1), budgets, expected_activations=40,
+            rng=np.random.default_rng(0),
+        )
+        eng = make_engine(seed=5)
+        eng.run(policy, activations_per_node=40)
+        assert (eng.train_counts <= budgets).all()
+        assert eng.train_counts[3] == 0 and eng.train_counts[7] == 0
+
+    def test_constrained_validation(self):
+        with pytest.raises(ValueError):
+            AsyncSkipTrainConstrained(
+                RoundSchedule(1, 1), np.array([-1]), 10,
+                np.random.default_rng(0),
+            )
+        with pytest.raises(ValueError):
+            AsyncSkipTrain(RoundSchedule(0, 2))
+
+    def test_async_matches_sync_shape(self):
+        """The async analogue preserves the paper's headline shape:
+        SkipTrain-style skipping costs little accuracy at half the
+        training energy."""
+        e_dpsgd = make_engine(seed=6)
+        h_dpsgd = e_dpsgd.run(AsyncDPSGD(), activations_per_node=32)
+        e_skip = make_engine(seed=6)
+        h_skip = e_skip.run(AsyncSkipTrain(RoundSchedule(2, 2)),
+                            activations_per_node=32)
+        assert e_skip.train_energy_wh < 0.6 * e_dpsgd.train_energy_wh
+        assert h_skip.final_accuracy() > h_dpsgd.final_accuracy() - 0.1

@@ -1,0 +1,103 @@
+"""Fairness-metric tests (§5.1 bias diagnostics)."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.energy import PAPER_DEVICES
+from repro.nn import parameter_vector, small_mlp
+from repro.simulation import (
+    device_group_report,
+    local_test_sets,
+    participation_gini,
+    per_node_accuracy,
+)
+
+
+class TestParticipationGini:
+    def test_equal_participation_zero(self):
+        assert participation_gini(np.array([5, 5, 5, 5])) == pytest.approx(0.0)
+
+    def test_concentrated_participation_high(self):
+        g = participation_gini(np.array([0, 0, 0, 100]))
+        assert g == pytest.approx(0.75, abs=0.01)
+
+    def test_monotone_in_inequality(self):
+        mild = participation_gini(np.array([8, 10, 12, 10]))
+        severe = participation_gini(np.array([1, 2, 3, 34]))
+        assert severe > mild
+
+    def test_all_zero_participation(self):
+        assert participation_gini(np.array([0, 0, 0])) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            participation_gini(np.array([]))
+
+    def test_scale_invariant(self):
+        a = np.array([1, 2, 3, 4])
+        assert participation_gini(a) == pytest.approx(
+            participation_gini(10 * a)
+        )
+
+
+class TestLocalTestSets:
+    def make_test_set(self, rng):
+        labels = np.repeat(np.arange(4), 50)
+        return ArrayDataset(rng.normal(size=(200, 1, 4, 4)), labels, 4)
+
+    def test_respects_class_matrix(self, rng):
+        test = self.make_test_set(rng)
+        class_matrix = np.array([[10, 0, 0, 0], [0, 5, 5, 0]])
+        sets = local_test_sets(test, class_matrix, rng, samples_per_node=100)
+        assert set(np.unique(sets[0].y)) == {0}
+        assert set(np.unique(sets[1].y)) <= {1, 2}
+        assert len(sets[0]) == 100
+
+    def test_empty_node_rejected(self, rng):
+        test = self.make_test_set(rng)
+        with pytest.raises(ValueError):
+            local_test_sets(test, np.array([[0, 0, 0, 0]]), rng)
+
+    def test_class_mismatch_rejected(self, rng):
+        test = self.make_test_set(rng)
+        with pytest.raises(ValueError):
+            local_test_sets(test, np.ones((2, 5), dtype=int), rng)
+
+
+class TestPerNodeAccuracy:
+    def test_shapes_and_range(self, rng):
+        model = small_mlp(16, 4, hidden=8, rng=rng)
+        state = np.tile(parameter_vector(model), (3, 1))
+        labels = np.arange(40) % 4
+        test = ArrayDataset(rng.normal(size=(40, 1, 4, 4)), labels, 4)
+        accs = per_node_accuracy(model, state, test)
+        assert accs.shape == (3,)
+        # identical rows → identical accuracy
+        assert accs[0] == accs[1] == accs[2]
+
+
+class TestDeviceGroupReport:
+    def test_groups_by_device(self, rng):
+        model = small_mlp(16, 4, hidden=8, rng=rng)
+        n = 8
+        state = np.tile(parameter_vector(model), (n, 1))
+        devices = tuple(PAPER_DEVICES[i % 4] for i in range(n))
+        train_rounds = np.array([10, 20, 30, 40, 10, 20, 30, 40])
+        labels = np.arange(80) % 4
+        test = ArrayDataset(rng.normal(size=(80, 1, 4, 4)), labels, 4)
+        locals_ = [test] * n
+        report = device_group_report(model, state, devices, train_rounds,
+                                     locals_)
+        assert len(report.device_names) == 4
+        # round-robin: each device type's mean = its two nodes' mean
+        idx = report.device_names.index(PAPER_DEVICES[0].name)
+        assert report.train_rounds[idx] == 10.0
+        assert report.accuracy_spread() == pytest.approx(0.0)
+
+    def test_length_validation(self, rng):
+        model = small_mlp(16, 4, hidden=8, rng=rng)
+        state = np.zeros((2, model.num_parameters()))
+        with pytest.raises(ValueError):
+            device_group_report(model, state, (PAPER_DEVICES[0],),
+                                np.array([1, 2]), [])

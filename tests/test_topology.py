@@ -1,0 +1,191 @@
+"""Topology and mixing-matrix tests (hypothesis over graph families)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    adjacency_matrix,
+    consensus_contraction,
+    erdos_renyi_graph,
+    fully_connected_graph,
+    is_doubly_stochastic,
+    is_symmetric,
+    metropolis_hastings_weights,
+    mixing_time_estimate,
+    neighbor_lists,
+    regular_graph,
+    ring_graph,
+    spectral_gap,
+    star_graph,
+    torus_graph,
+    uniform_neighbor_weights,
+    validate_topology,
+)
+
+
+class TestGraphConstructors:
+    @given(st.sampled_from([(16, 3), (16, 6), (20, 4), (32, 5)]),
+           st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_regular_graph_properties(self, nd, seed):
+        n, d = nd
+        g = regular_graph(n, d, seed=seed)
+        assert g.number_of_nodes() == n
+        assert all(deg == d for _, deg in g.degree)
+        assert nx.is_connected(g)
+
+    def test_regular_graph_validation(self):
+        with pytest.raises(ValueError):
+            regular_graph(10, 10)
+        with pytest.raises(ValueError):
+            regular_graph(9, 3)  # odd n*d
+        with pytest.raises(ValueError):
+            regular_graph(10, 0)
+
+    def test_ring(self):
+        g = ring_graph(8)
+        assert all(deg == 2 for _, deg in g.degree)
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+    def test_torus(self):
+        g = torus_graph(3, 4)
+        assert g.number_of_nodes() == 12
+        assert all(deg == 4 for _, deg in g.degree)
+
+    def test_fully_connected(self):
+        g = fully_connected_graph(6)
+        assert g.number_of_edges() == 15
+
+    def test_star(self):
+        g = star_graph(7)
+        degs = sorted(d for _, d in g.degree)
+        assert degs == [1] * 6 + [6]
+
+    def test_erdos_renyi_connected(self):
+        g = erdos_renyi_graph(30, seed=3)
+        assert nx.is_connected(g)
+
+    def test_validate_rejects_disconnected(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            validate_topology(g)
+
+    def test_validate_rejects_self_loop(self):
+        g = nx.complete_graph(3)
+        g.add_edge(1, 1)
+        with pytest.raises(ValueError):
+            validate_topology(g)
+
+    def test_adjacency_and_neighbors(self):
+        g = ring_graph(5)
+        adj = adjacency_matrix(g)
+        assert adj.shape == (5, 5)
+        assert adj.nnz == 10
+        nbrs = neighbor_lists(g)
+        np.testing.assert_array_equal(nbrs[0], [1, 4])
+
+
+GRAPHS = [
+    lambda: regular_graph(16, 4, seed=0),
+    lambda: regular_graph(20, 6, seed=1),
+    lambda: ring_graph(11),
+    lambda: torus_graph(3, 3),
+    lambda: fully_connected_graph(8),
+    lambda: erdos_renyi_graph(15, seed=2),
+    lambda: star_graph(9),
+]
+
+
+class TestMetropolisHastings:
+    @pytest.mark.parametrize("make", GRAPHS)
+    def test_symmetric_doubly_stochastic(self, make):
+        w = metropolis_hastings_weights(make())
+        assert is_symmetric(w)
+        assert is_doubly_stochastic(w)
+
+    @pytest.mark.parametrize("make", GRAPHS)
+    def test_sparsity_matches_graph(self, make):
+        g = make()
+        w = metropolis_hastings_weights(g)
+        # nonzeros = edges*2 + diagonal entries (all diagonals positive
+        # except possibly exact-zero self weight)
+        offdiag = w.copy()
+        offdiag.setdiag(0)
+        offdiag.eliminate_zeros()
+        assert offdiag.nnz == 2 * g.number_of_edges()
+
+    def test_known_values_on_ring(self):
+        w = metropolis_hastings_weights(ring_graph(4)).toarray()
+        # all degrees 2: edge weight 1/3, diagonal 1/3
+        assert w[0, 1] == pytest.approx(1 / 3)
+        assert w[0, 0] == pytest.approx(1 / 3)
+
+    def test_preserves_average(self, rng):
+        w = metropolis_hastings_weights(regular_graph(12, 4, seed=0))
+        x = rng.normal(size=(12, 5))
+        np.testing.assert_allclose((w @ x).mean(axis=0), x.mean(axis=0),
+                                   atol=1e-12)
+
+    @pytest.mark.parametrize("make", GRAPHS)
+    def test_contraction_bounded_by_lambda2(self, make, rng):
+        w = metropolis_hastings_weights(make())
+        x = rng.normal(size=(w.shape[0], 7))
+        lam2 = 1.0 - spectral_gap(w)
+        assert consensus_contraction(w, x) <= lam2 + 1e-9
+
+
+class TestUniformWeights:
+    def test_row_stochastic_always(self):
+        w = uniform_neighbor_weights(star_graph(6))
+        np.testing.assert_allclose(np.asarray(w.sum(axis=1)).ravel(), 1.0)
+
+    def test_doubly_stochastic_on_regular(self):
+        w = uniform_neighbor_weights(regular_graph(12, 4, seed=0))
+        assert is_doubly_stochastic(w)
+
+    def test_not_doubly_stochastic_on_star(self):
+        w = uniform_neighbor_weights(star_graph(6))
+        assert not is_doubly_stochastic(w)
+
+
+class TestSpectral:
+    def test_complete_graph_gap_is_one(self):
+        w = metropolis_hastings_weights(fully_connected_graph(8))
+        assert spectral_gap(w) == pytest.approx(1.0, abs=1e-9)
+
+    def test_denser_graph_larger_gap(self):
+        w3 = metropolis_hastings_weights(regular_graph(24, 3, seed=0))
+        w8 = metropolis_hastings_weights(regular_graph(24, 8, seed=0))
+        assert spectral_gap(w8) > spectral_gap(w3)
+
+    def test_large_graph_sparse_path(self):
+        w = metropolis_hastings_weights(regular_graph(100, 4, seed=0))
+        gap = spectral_gap(w)
+        assert 0.0 < gap < 1.0
+
+    def test_mixing_time_monotone_in_gap(self):
+        ring = metropolis_hastings_weights(ring_graph(24))
+        dense = metropolis_hastings_weights(regular_graph(24, 8, seed=0))
+        assert mixing_time_estimate(ring) > mixing_time_estimate(dense)
+
+    def test_mixing_time_complete(self):
+        w = metropolis_hastings_weights(fully_connected_graph(6))
+        assert mixing_time_estimate(w) == 1.0
+
+    def test_repeated_mixing_converges_to_mean(self, rng):
+        """W^k x → column-wise mean: the consensus property SkipTrain's
+        sync rounds exploit."""
+        w = metropolis_hastings_weights(regular_graph(16, 4, seed=0))
+        x = rng.normal(size=(16, 3))
+        target = np.tile(x.mean(axis=0), (16, 1))
+        y = x.copy()
+        for _ in range(200):
+            y = w @ y
+        np.testing.assert_allclose(y, target, atol=1e-6)
