@@ -1,0 +1,8 @@
+"""Benchmark suite package.
+
+Making ``benchmarks/`` a package lets its modules import shared
+fixtures with ``from .conftest import run_once`` without colliding with
+``tests/conftest.py`` when pytest collects both directories from the
+repository root (two top-level non-package ``conftest`` modules would
+shadow each other on ``sys.path``).
+"""

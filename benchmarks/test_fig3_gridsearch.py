@@ -9,6 +9,7 @@ Paper shapes checked:
 """
 
 import numpy as np
+import pytest
 
 from repro.experiments import energy_grid, grid_search
 
@@ -17,6 +18,7 @@ from .conftest import run_once
 GRID = (1, 2, 3, 4)
 
 
+@pytest.mark.slow
 def test_fig3_gridsearch(benchmark, bench16_cifar):
     """Full 4×4 grid on the sparse topology (the paper's 6-regular
     analogue), plus the analytic energy panel."""

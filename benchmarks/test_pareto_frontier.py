@@ -8,6 +8,7 @@ energy) never improves on the frontier's best accuracy.
 """
 
 import numpy as np
+import pytest
 
 from repro.analysis import frontier_from_grid
 from repro.core import RoundSchedule
@@ -16,6 +17,7 @@ from repro.experiments import grid_search, prepare, run_algorithm
 from .conftest import run_once
 
 
+@pytest.mark.slow
 def test_pareto_frontier(benchmark, bench16_cifar):
     def compute():
         grid = grid_search(

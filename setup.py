@@ -1,5 +1,16 @@
-"""Setuptools shim for legacy editable installs (offline environment
-without the ``wheel`` package; see pyproject.toml for metadata)."""
+"""Setuptools shim for legacy editable installs.
+
+Metadata and the ``src/`` package layout live in ``pyproject.toml``.
+This offline image ships setuptools without the ``wheel`` package, so
+pip's PEP 517/660 editable path (which shells out to ``bdist_wheel``)
+cannot run — install editable with the legacy route instead:
+
+    python setup.py develop
+
+after which ``python -c "import repro"`` works without ``PYTHONPATH``.
+(``pyproject.toml`` also sets ``tool.pytest.ini_options.pythonpath``,
+so running the test suite needs neither.)
+"""
 
 from setuptools import setup
 

@@ -6,6 +6,12 @@ serialization — everything the decentralized-learning simulator needs.
 """
 
 from . import functional
+from .batched import (
+    BatchedModel,
+    BatchedTrainer,
+    UnsupportedLayerError,
+    vectorize_module,
+)
 from .layers import (
     AvgPool2d,
     BatchNorm2d,
@@ -32,7 +38,7 @@ from .models import (
 )
 from .io import load_model, save_model
 from .module import Module, Sequential
-from .optim import SGD, ConstantLR, CosineLR, StepLR
+from .optim import SGD, BatchedSGD, ConstantLR, CosineLR, StepLR
 from .optim_adaptive import Adam, AdamW
 from .parameter import Parameter
 from .serialization import (
@@ -63,6 +69,11 @@ __all__ = [
     "CrossEntropyLoss",
     "MSELoss",
     "SGD",
+    "BatchedSGD",
+    "BatchedModel",
+    "BatchedTrainer",
+    "UnsupportedLayerError",
+    "vectorize_module",
     "Adam",
     "AdamW",
     "ConstantLR",

@@ -1,0 +1,499 @@
+"""Batched multi-node mirrors of the NN layers (the vectorized engine).
+
+The decentralized simulator trains ``k`` masked nodes per round. The
+serial engine loops over nodes in Python, paying interpreter and
+BLAS-dispatch overhead per node per layer per step. This module
+collapses that loop: a :class:`BatchedModel` carries every node's
+parameters as stacked arrays with a leading node axis and runs one
+forward/backward over ``(k, B, ...)`` activations, so each layer is a
+single stacked GEMM/elementwise kernel regardless of ``k``.
+
+Bit-compatibility contract
+--------------------------
+``np.matmul`` on 3-D stacks dispatches the same per-slice BLAS GEMM as
+the 2-D call, and all other kernels are elementwise or reduce along the
+same (contiguous, trailing) axes as their serial counterparts. Slice
+``i`` of every batched kernel is therefore *bit-identical* to running
+the serial layer on node ``i`` alone. The engine relies on this: with
+plain SGD (no momentum) the vectorized path reproduces the serial
+trajectory exactly, not just approximately.
+
+Parameters are *views* into the engine's ``(k, dim)`` state-row block
+(see :meth:`BatchedModel.bind`), laid out in the same order as
+:func:`repro.nn.serialization.parameter_vector`, so training updates
+land directly in the simulation state matrix with no scatter step.
+
+Unsupported layers: ``Dropout`` (per-node RNG draws cannot be replayed
+in stacked order) and ``BatchNorm2d`` (running statistics live in the
+shared workspace model, a serial-path quirk the batched path refuses to
+replicate). :func:`vectorize_module` raises :class:`UnsupportedLayerError`
+for these so callers can fall back to the serial engine explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from . import functional as F
+from .layers import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .layers.normalization import GroupNorm
+from .module import Module, Sequential
+from .optim import BatchedSGD
+
+__all__ = [
+    "UnsupportedLayerError",
+    "BatchedLayer",
+    "BatchedLinear",
+    "BatchedConv2d",
+    "BatchedGroupNorm",
+    "BatchedFlatten",
+    "BatchedPool2d",
+    "BatchedElementwise",
+    "BatchedModel",
+    "BatchedTrainer",
+    "vectorize_module",
+]
+
+
+class UnsupportedLayerError(ValueError):
+    """Raised when a model contains a layer with no batched mirror."""
+
+
+class BatchedLayer:
+    """Base class: parameter-free by default.
+
+    Parameterized subclasses override :meth:`bind` to install stacked
+    parameter views into the caller's ``(k, dim)`` block and
+    :meth:`param_grad_pairs` to expose ``(stacked_param, stacked_grad)``
+    for the optimizer.
+    """
+
+    def bind(self, block: np.ndarray, offset: int) -> int:
+        """Install parameter views from ``block[:, offset:...]``; return
+        the offset past this layer's parameters."""
+        return offset
+
+    def param_grad_pairs(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        return iter(())
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class BatchedLinear(BatchedLayer):
+    """Stacked affine maps: ``(k, B, in) @ (k, in, out) + (k, out)``.
+
+    The flat layout within each node's parameter row matches
+    ``Linear.parameters()`` order (``bias`` before ``weight``, the
+    sorted-attribute order used by serialization).
+    """
+
+    def __init__(self, template: Linear) -> None:
+        self.in_features = template.in_features
+        self.out_features = template.out_features
+        self.has_bias = template.bias is not None
+        self.weight: np.ndarray | None = None
+        self.bias: np.ndarray | None = None
+        self.weight_grad: np.ndarray | None = None
+        self.bias_grad: np.ndarray | None = None
+        self._x: np.ndarray | None = None
+
+    def bind(self, block: np.ndarray, offset: int) -> int:
+        k = block.shape[0]
+        fi, fo = self.in_features, self.out_features
+        if self.has_bias:
+            self.bias = block[:, offset : offset + fo]
+            offset += fo
+        self.weight = block[:, offset : offset + fi * fo].reshape(k, fi, fo)
+        offset += fi * fo
+        if self.weight_grad is None or self.weight_grad.shape[0] != k:
+            self.weight_grad = np.empty((k, fi, fo))
+            self.bias_grad = np.empty((k, fo)) if self.has_bias else None
+        return offset
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.in_features:
+            raise ValueError(
+                f"BatchedLinear expects (k, B, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        return F.batched_linear_forward(
+            x, self.weight, self.bias if self.has_bias else None
+        )
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        grad_x, grad_w, grad_b = F.batched_linear_backward(
+            self._x, self.weight, grad_out, bias=self.has_bias
+        )
+        self.weight_grad[...] = grad_w
+        if self.has_bias:
+            self.bias_grad[...] = grad_b
+        return grad_x
+
+    def param_grad_pairs(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if self.has_bias:
+            yield self.bias, self.bias_grad
+        yield self.weight, self.weight_grad
+
+
+class BatchedConv2d(BatchedLayer):
+    """Stacked convolutions over ``(k, B, C, H, W)`` via batched im2col +
+    one ``(k, out_c, C*kh*kw) @ (k, C*kh*kw, B*oh*ow)`` stacked GEMM."""
+
+    def __init__(self, template: Conv2d) -> None:
+        self.in_channels = template.in_channels
+        self.out_channels = template.out_channels
+        self.kernel_size = template.kernel_size
+        self.stride = template.stride
+        self.padding = template.padding
+        self.has_bias = template.bias is not None
+        self.weight: np.ndarray | None = None  # (k, out_c, C, kh, kw)
+        self.bias: np.ndarray | None = None  # (k, out_c)
+        self.weight_grad: np.ndarray | None = None
+        self.bias_grad: np.ndarray | None = None
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def bind(self, block: np.ndarray, offset: int) -> int:
+        k = block.shape[0]
+        oc, ic, ks = self.out_channels, self.in_channels, self.kernel_size
+        wsize = oc * ic * ks * ks
+        if self.has_bias:
+            self.bias = block[:, offset : offset + oc]
+            offset += oc
+        self.weight = block[:, offset : offset + wsize].reshape(k, oc, ic, ks, ks)
+        offset += wsize
+        if self.weight_grad is None or self.weight_grad.shape[0] != k:
+            self.weight_grad = np.empty((k, oc, ic, ks, ks))
+            self.bias_grad = np.empty((k, oc)) if self.has_bias else None
+        return offset
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 5 or x.shape[2] != self.in_channels:
+            raise ValueError(
+                f"BatchedConv2d expects (k, B, {self.in_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        kn, n, _, h, w = x.shape
+        ks, s, p = self.kernel_size, self.stride, self.padding
+        out_h = F.conv_output_size(h, ks, s, p)
+        out_w = F.conv_output_size(w, ks, s, p)
+
+        cols = F.batched_im2col(x, ks, ks, s, p)  # (k, C*ks*ks, B*oh*ow)
+        self._cols = cols
+        self._x_shape = x.shape
+
+        w_mat = self.weight.reshape(kn, self.out_channels, -1)
+        out = np.matmul(w_mat, cols)  # (k, out_c, B*oh*ow)
+        if self.has_bias:
+            out += self.bias[:, :, None]
+        out = out.reshape(kn, self.out_channels, out_h, out_w, n)
+        return out.transpose(0, 4, 1, 2, 3)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        kn = self._x_shape[0]
+        ks, s, p = self.kernel_size, self.stride, self.padding
+
+        # (k, B, O, oh, ow) -> (k, O, B*oh*ow) matching the column layout
+        grad_mat = grad_out.transpose(0, 2, 3, 4, 1).reshape(kn, self.out_channels, -1)
+
+        self.weight_grad[...] = np.matmul(
+            grad_mat, self._cols.transpose(0, 2, 1)
+        ).reshape(self.weight.shape)
+        if self.has_bias:
+            self.bias_grad[...] = grad_mat.sum(axis=2)
+
+        w_mat = self.weight.reshape(kn, self.out_channels, -1)
+        grad_cols = np.matmul(w_mat.transpose(0, 2, 1), grad_mat)
+        return F.batched_col2im(grad_cols, self._x_shape, ks, ks, s, p)
+
+    def param_grad_pairs(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if self.has_bias:
+            yield self.bias, self.bias_grad
+        yield self.weight, self.weight_grad
+
+
+class BatchedGroupNorm(BatchedLayer):
+    """Stacked GroupNorm: per-(node, sample, group) statistics with
+    per-node ``gamma``/``beta`` (layout: ``beta`` before ``gamma``)."""
+
+    def __init__(self, template: GroupNorm) -> None:
+        self.num_groups = template.num_groups
+        self.num_channels = template.num_channels
+        self.eps = template.eps
+        self.gamma: np.ndarray | None = None  # (k, C)
+        self.beta: np.ndarray | None = None  # (k, C)
+        self.gamma_grad: np.ndarray | None = None
+        self.beta_grad: np.ndarray | None = None
+        self._cache: tuple | None = None
+
+    def bind(self, block: np.ndarray, offset: int) -> int:
+        k = block.shape[0]
+        c = self.num_channels
+        self.beta = block[:, offset : offset + c]
+        offset += c
+        self.gamma = block[:, offset : offset + c]
+        offset += c
+        if self.gamma_grad is None or self.gamma_grad.shape[0] != k:
+            self.gamma_grad = np.empty((k, c))
+            self.beta_grad = np.empty((k, c))
+        return offset
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 5 or x.shape[2] != self.num_channels:
+            raise ValueError(
+                f"BatchedGroupNorm expects (k, B, {self.num_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        kn, n, c, h, w = x.shape
+        g = self.num_groups
+        xg = x.reshape(kn, n, g, c // g * h * w)
+        mean = xg.mean(axis=-1, keepdims=True)
+        var = xg.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        xhat = (xg - mean) * inv_std
+        xhat = xhat.reshape(kn, n, c, h, w)
+        self._cache = (xhat, inv_std, x.shape)
+        return (
+            xhat * self.gamma[:, None, :, None, None]
+            + self.beta[:, None, :, None, None]
+        )
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        xhat, inv_std, shape = self._cache
+        kn, n, c, h, w = shape
+        g = self.num_groups
+
+        self.gamma_grad[...] = (grad_out * xhat).sum(axis=(1, 3, 4))
+        self.beta_grad[...] = grad_out.sum(axis=(1, 3, 4))
+
+        dxhat = (grad_out * self.gamma[:, None, :, None, None]).reshape(
+            kn, n, g, c // g * h * w
+        )
+        xhat_g = xhat.reshape(kn, n, g, c // g * h * w)
+        m = dxhat.shape[-1]
+        sum_dxhat = dxhat.sum(axis=-1, keepdims=True)
+        sum_dxhat_xhat = (dxhat * xhat_g).sum(axis=-1, keepdims=True)
+        dx = (inv_std / m) * (m * dxhat - sum_dxhat - xhat_g * sum_dxhat_xhat)
+        return dx.reshape(kn, n, c, h, w)
+
+    def param_grad_pairs(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        yield self.beta, self.beta_grad
+        yield self.gamma, self.gamma_grad
+
+
+class BatchedFlatten(BatchedLayer):
+    """Reshape ``(k, B, ...)`` to ``(k, B, prod(...))``."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._shape)
+
+
+class BatchedPool2d(BatchedLayer):
+    """Pooling is parameter-free and per-sample, so the node axis folds
+    into the batch axis: ``(k, B, C, H, W) -> (k*B, C, H, W)`` through a
+    fresh serial pooling layer and back."""
+
+    def __init__(self, template: MaxPool2d | AvgPool2d) -> None:
+        self.pool = type(template)(template.kernel_size, template.stride)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        kn, n = x.shape[:2]
+        out = self.pool.forward(x.reshape(kn * n, *x.shape[2:]))
+        return out.reshape(kn, n, *out.shape[1:])
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        kn, n = grad_out.shape[:2]
+        grad_in = self.pool.backward(grad_out.reshape(kn * n, *grad_out.shape[2:]))
+        return grad_in.reshape(kn, n, *grad_in.shape[1:])
+
+
+class BatchedElementwise(BatchedLayer):
+    """Activations are shape-agnostic elementwise maps; a fresh instance
+    of the serial layer runs unchanged on ``(k, B, ...)`` stacks."""
+
+    def __init__(self, layer: Module) -> None:
+        self.layer = layer
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.layer.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.layer.backward(grad_out)
+
+
+def _vectorize_layer(layer: Module) -> BatchedLayer:
+    if isinstance(layer, Linear):
+        return BatchedLinear(layer)
+    if isinstance(layer, Conv2d):
+        return BatchedConv2d(layer)
+    if isinstance(layer, GroupNorm):
+        return BatchedGroupNorm(layer)
+    if isinstance(layer, Flatten):
+        return BatchedFlatten()
+    if isinstance(layer, (MaxPool2d, AvgPool2d)):
+        return BatchedPool2d(layer)
+    if isinstance(layer, ReLU):
+        return BatchedElementwise(ReLU())
+    if isinstance(layer, LeakyReLU):
+        return BatchedElementwise(LeakyReLU(layer.alpha))
+    if isinstance(layer, Sigmoid):
+        return BatchedElementwise(Sigmoid())
+    if isinstance(layer, Tanh):
+        return BatchedElementwise(Tanh())
+    raise UnsupportedLayerError(
+        f"no batched mirror for layer type {type(layer).__name__}; "
+        "run this model with the serial engine (vectorized=False)"
+    )
+
+
+class BatchedModel:
+    """A stack of batched layers bound to a ``(k, dim)`` parameter block.
+
+    Built from a serial template by :func:`vectorize_module`. Call
+    :meth:`bind` with the block of node parameter rows before
+    forward/backward; parameter views alias the block, so optimizer
+    updates mutate the rows in place.
+    """
+
+    def __init__(self, layers: Sequence[BatchedLayer], dim: int) -> None:
+        self.layers = list(layers)
+        self.dim = dim
+
+    def bind(self, block: np.ndarray) -> None:
+        if block.ndim != 2 or block.shape[1] != self.dim:
+            raise ValueError(
+                f"expected a (k, {self.dim}) parameter block, got {block.shape}"
+            )
+        offset = 0
+        for layer in self.layers:
+            offset = layer.bind(block, offset)
+        if offset != self.dim:
+            raise RuntimeError(
+                f"parameter layout mismatch: bound {offset} of {self.dim} entries"
+            )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def param_grad_pairs(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        for layer in self.layers:
+            yield from layer.param_grad_pairs()
+
+
+def vectorize_module(template: Module) -> BatchedModel:
+    """Build the batched mirror of ``template``.
+
+    ``template`` must be a :class:`Sequential` (or a single supported
+    layer); raises :class:`UnsupportedLayerError` for architectures with
+    no batched path. The template is only read, never mutated.
+    """
+    layers = template.layers if isinstance(template, Sequential) else [template]
+    return BatchedModel(
+        [_vectorize_layer(layer) for layer in layers], template.num_parameters()
+    )
+
+
+class BatchedTrainer:
+    """Runs E stacked SGD steps on a block of node parameter rows.
+
+    The trainer mirrors the serial engine's inner loop exactly: for each
+    local step it stacks one mini-batch per node, does one batched
+    forward/backward, and applies one in-place SGD update per node — the
+    same arithmetic as the serial loop, reordered from
+    ``for node: for step`` into ``for step: all nodes``, which is valid
+    because nodes do not interact between aggregation rounds.
+
+    Momentum is rejected: the serial engine's momentum buffer lives in
+    the shared workspace model and leaks across nodes (a serial-path
+    quirk), so no batched execution order can reproduce it. Weight decay
+    is supported and exact.
+    """
+
+    def __init__(
+        self, template: Module, lr: float, weight_decay: float = 0.0
+    ) -> None:
+        self.model = vectorize_module(template)
+        self.optimizer = BatchedSGD(self.model, lr=lr, weight_decay=weight_decay)
+
+    def train_block(
+        self,
+        block: np.ndarray,
+        batch_lists: Sequence[Sequence[tuple[np.ndarray, np.ndarray]]],
+    ) -> np.ndarray:
+        """Train ``block[i]`` on ``batch_lists[i]`` (E batches per node),
+        in place. Returns each node's mean loss over its local steps.
+
+        Nodes whose batch sizes differ (smaller-than-batch datasets) are
+        grouped into rectangular sub-blocks so every stack is uniform;
+        grouping never changes any node's arithmetic or RNG stream.
+        """
+        if block.shape[0] != len(batch_lists):
+            raise ValueError("one batch list per block row required")
+        if block.shape[0] == 0:
+            return np.empty(0)
+        sizes = np.array([bl[0][0].shape[0] for bl in batch_lists])
+        if (sizes == sizes[0]).all():
+            return self._train_uniform(block, batch_lists)
+        losses = np.empty(len(batch_lists))
+        for size in np.unique(sizes):
+            pos = np.nonzero(sizes == size)[0]
+            sub = block[pos]  # fancy index: a copy
+            losses[pos] = self._train_uniform(sub, [batch_lists[p] for p in pos])
+            block[pos] = sub
+        return losses
+
+    def _train_uniform(
+        self,
+        block: np.ndarray,
+        batch_lists: Sequence[Sequence[tuple[np.ndarray, np.ndarray]]],
+    ) -> np.ndarray:
+        self.model.bind(block)
+        local_steps = len(batch_lists[0])
+        total = np.zeros(block.shape[0])
+        for step in range(local_steps):
+            x = np.stack([bl[step][0] for bl in batch_lists])
+            y = np.stack([bl[step][1] for bl in batch_lists])
+            logits = self.model.forward(x)
+            losses, grad = F.batched_cross_entropy(logits, y)
+            total += losses
+            self.model.backward(grad)
+            self.optimizer.step()
+        return total / local_steps

@@ -23,6 +23,11 @@ __all__ = [
     "col2im",
     "conv_output_size",
     "accuracy",
+    "batched_linear_forward",
+    "batched_linear_backward",
+    "batched_cross_entropy",
+    "batched_im2col",
+    "batched_col2im",
 ]
 
 
@@ -159,6 +164,112 @@ def col2im(
     if padding == 0:
         return x_padded
     return x_padded[:, :, padding:-padding, padding:-padding]
+
+
+# -- batched (leading node-axis) kernels --------------------------------------
+#
+# The decentralized simulator trains many node models per round. These
+# kernels carry an extra leading axis ``k`` (one slice per node) so all
+# nodes' local steps collapse into stacked GEMMs instead of a Python
+# loop. ``np.matmul`` on 3-D operands dispatches the same BLAS GEMM per
+# slice as the 2-D call, so every slice is bit-identical to running the
+# serial kernel on that node alone — the property the engine's
+# ``vectorized`` bit-compatibility contract relies on.
+
+
+def batched_linear_forward(
+    x: np.ndarray, w: np.ndarray, b: np.ndarray | None = None
+) -> np.ndarray:
+    """Affine map per node: ``(k, B, in) @ (k, in, out) [+ (k, out)]``."""
+    out = np.matmul(x, w)
+    if b is not None:
+        out += b[:, None, :]
+    return out
+
+
+def batched_linear_backward(
+    x: np.ndarray, w: np.ndarray, grad_out: np.ndarray, bias: bool = True
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Gradients of :func:`batched_linear_forward`.
+
+    Returns ``(grad_x, grad_w, grad_b)`` with shapes matching the inputs
+    (``grad_b`` is ``None`` when ``bias`` is false).
+    """
+    grad_w = np.matmul(x.transpose(0, 2, 1), grad_out)
+    grad_b = grad_out.sum(axis=1) if bias else None
+    grad_x = np.matmul(grad_out, w.transpose(0, 2, 1))
+    return grad_x, grad_w, grad_b
+
+
+def batched_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Softmax cross-entropy per node slice.
+
+    ``logits`` is ``(k, B, K)``, ``targets`` ``(k, B)`` ints. Returns
+    ``(losses, grad)`` where ``losses`` is ``(k,)`` (each node's mean
+    loss over its batch) and ``grad`` is ``dL/dlogits`` already divided
+    by ``B`` — the same contract as
+    :class:`~repro.nn.losses.CrossEntropyLoss` applied slice by slice.
+    """
+    if logits.ndim != 3:
+        raise ValueError(f"logits must be (k, B, K), got {logits.shape}")
+    targets = np.asarray(targets)
+    if targets.shape != logits.shape[:2]:
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    picked = np.take_along_axis(log_probs, targets[..., None], axis=-1)[..., 0]
+    losses = -picked.mean(axis=-1)
+    grad = np.exp(log_probs)
+    ki = np.arange(grad.shape[0])[:, None]
+    bi = np.arange(grad.shape[1])[None, :]
+    grad[ki, bi, targets] -= 1.0
+    grad /= grad.shape[1]
+    return losses, grad
+
+
+def batched_im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold ``(k, B, C, H, W)`` into ``(k, C*kh*kw, B*oh*ow)`` columns.
+
+    Per-slice layout matches :func:`im2col` applied to one node's
+    ``(B, C, H, W)`` batch, so a stacked ``(k, out_c, C*kh*kw)`` weight
+    matmul reproduces the serial convolution node by node.
+    """
+    k_nodes, n, c, h, w = x.shape
+    if padding > 0:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    k, i, j = im2col_indices(c, h, w, kh, kw, stride, padding)
+    cols = x[:, :, k, i, j]  # (k, B, C*kh*kw, oh*ow)
+    # match im2col's (ckk, ohow, B) -> (ckk, ohow*B) column ordering
+    return cols.transpose(0, 2, 3, 1).reshape(k_nodes, c * kh * kw, -1)
+
+
+def batched_col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`batched_im2col`: scatter-add back to images."""
+    k_nodes, n, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    x_padded = np.zeros((k_nodes, n, c, hp, wp), dtype=cols.dtype)
+    k, i, j = im2col_indices(c, h, w, kh, kw, stride, padding)
+    cols_reshaped = cols.reshape(k_nodes, c * kh * kw, -1, n).transpose(0, 3, 1, 2)
+    np.add.at(x_padded, (slice(None), slice(None), k, i, j), cols_reshaped)
+    if padding == 0:
+        return x_padded
+    return x_padded[:, :, :, padding:-padding, padding:-padding]
 
 
 def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:

@@ -12,7 +12,7 @@ import numpy as np
 
 from .parameter import Parameter
 
-__all__ = ["SGD", "ConstantLR", "StepLR", "CosineLR"]
+__all__ = ["SGD", "BatchedSGD", "ConstantLR", "StepLR", "CosineLR"]
 
 
 class SGD:
@@ -64,6 +64,37 @@ class SGD:
         """Zero all parameter gradients in place."""
         for p in self.params:
             p.zero_grad()
+
+
+class BatchedSGD:
+    """SGD over stacked node-axis parameters (the vectorized engine).
+
+    ``model`` is anything exposing ``param_grad_pairs() ->
+    (stacked_param, stacked_grad)`` views (see
+    :class:`repro.nn.batched.BatchedModel`). Updates are elementwise and
+    in place, so slice ``i`` of every stacked parameter receives exactly
+    the arithmetic the serial :class:`SGD` would apply to node ``i``.
+
+    Momentum is deliberately absent: the serial engine's momentum buffer
+    lives in the shared workspace model and carries over from node to
+    node, a sequential-execution artifact with no batched equivalent.
+    """
+
+    def __init__(self, model, lr: float, weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.model = model
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        """Apply one in-place update to every node slice at once."""
+        for p, g in self.model.param_grad_pairs():
+            if self.weight_decay > 0.0:
+                g = g + self.weight_decay * p
+            p -= self.lr * g
 
 
 class ConstantLR:

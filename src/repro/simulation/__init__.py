@@ -12,7 +12,7 @@ from .async_engine import (
     AsyncSkipTrain,
     AsyncSkipTrainConstrained,
 )
-from .builder import build_nodes
+from .builder import build_engine, build_nodes
 from .checkpoint import load_checkpoint, save_checkpoint
 from .engine import EngineConfig, SimulationEngine
 from .failures import (
@@ -46,6 +46,7 @@ __all__ = [
     "RngFactory",
     "Node",
     "build_nodes",
+    "build_engine",
     "EngineConfig",
     "SimulationEngine",
     "ParallelSimulationEngine",

@@ -5,11 +5,22 @@ within a round: node trainings are independent between two mixing
 steps (the paper runs 256 processes over 8 machines). This module
 parallelizes exactly that stage with a process pool.
 
+Work is shipped as node *blocks*: the masked nodes are split into one
+chunk per worker (tunable via ``block_size``) and each worker trains its
+whole ``(m, dim)`` block in one task. Within a block the worker either
+loops rows serially or — when ``EngineConfig.vectorized`` is set — runs
+the block through a :class:`repro.nn.batched.BatchedTrainer`, so the
+process-parallel and vectorized speedups compose: ``n_workers`` blocks
+each doing stacked-GEMM training. Blocks also amortize pickling: one
+task per worker per round instead of one per node.
+
 Determinism is preserved by sampling every mini-batch in the *parent*
 process (sampling is index arithmetic — cheap) and shipping
-``(state_row, batches)`` to workers that only run the compute-heavy SGD
-steps. The result is bit-identical to the serial engine because the
-parent consumes each node's batch stream in the same order.
+``(block, batches)`` to workers that only run the compute-heavy SGD
+steps. The result is bit-identical to the serial engine — and to the
+vectorized single-process engine — because the parent consumes each
+node's batch stream in the same order and both block paths are
+slice-for-slice bit-exact (see ``repro.nn.batched``).
 """
 
 from __future__ import annotations
@@ -19,6 +30,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..nn.batched import BatchedTrainer
 from ..nn.losses import CrossEntropyLoss
 from ..nn.module import Module
 from ..nn.optim import SGD
@@ -27,11 +39,13 @@ from .engine import SimulationEngine
 
 __all__ = ["ParallelSimulationEngine", "train_rows_serial"]
 
-# Worker globals installed by _init_worker (one model per process).
+# Worker globals installed by _init_worker (one model per process; the
+# batched trainer is built lazily on the first vectorized block).
 _WORKER_MODEL: Module | None = None
 _WORKER_LR: float | None = None
 _WORKER_MOMENTUM: float = 0.0
 _WORKER_WEIGHT_DECAY: float = 0.0
+_WORKER_TRAINER: BatchedTrainer | None = None
 
 
 def _init_worker(
@@ -41,34 +55,56 @@ def _init_worker(
     weight_decay: float,
 ) -> None:
     global _WORKER_MODEL, _WORKER_LR, _WORKER_MOMENTUM, _WORKER_WEIGHT_DECAY
+    global _WORKER_TRAINER
     _WORKER_MODEL = model_factory()
     _WORKER_LR = lr
     _WORKER_MOMENTUM = momentum
     _WORKER_WEIGHT_DECAY = weight_decay
+    _WORKER_TRAINER = None
 
 
-def _train_row(
-    args: tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]],
-) -> np.ndarray:
-    """Run E SGD steps on one node's parameter row (worker side)."""
-    row, batches = args
+def _train_block(
+    args: tuple[np.ndarray, list[list[tuple[np.ndarray, np.ndarray]]], bool],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Train one ``(m, dim)`` block of node rows (worker side).
+
+    Returns ``(rows, losses)`` where ``losses[i]`` is row ``i``'s mean
+    training loss over its local steps.
+    """
+    rows, batch_lists, vectorized = args
     model = _WORKER_MODEL
     assert model is not None, "worker not initialized"
-    set_parameter_vector(model, row)
+    if vectorized:
+        global _WORKER_TRAINER
+        if _WORKER_TRAINER is None:
+            _WORKER_TRAINER = BatchedTrainer(
+                model, lr=_WORKER_LR, weight_decay=_WORKER_WEIGHT_DECAY
+            )
+        losses = _WORKER_TRAINER.train_block(rows, batch_lists)
+        return rows, losses
     loss = CrossEntropyLoss()
-    opt = SGD(
-        model.parameters(),
-        lr=_WORKER_LR,
-        momentum=_WORKER_MOMENTUM,
-        weight_decay=_WORKER_WEIGHT_DECAY,
-    )
-    for xb, yb in batches:
-        logits = model(xb)
-        loss.forward(logits, yb)
-        model.zero_grad()
-        model.backward(loss.backward())
-        opt.step()
-    return parameter_vector(model)
+    losses = np.empty(rows.shape[0])
+    for r, batches in enumerate(batch_lists):
+        # Fresh optimizer per row: momentum velocity must not leak from
+        # one node to the next within a block, or results would depend
+        # on how the masked ids were partitioned into blocks.
+        opt = SGD(
+            model.parameters(),
+            lr=_WORKER_LR,
+            momentum=_WORKER_MOMENTUM,
+            weight_decay=_WORKER_WEIGHT_DECAY,
+        )
+        set_parameter_vector(model, rows[r])
+        total = 0.0
+        for xb, yb in batches:
+            logits = model(xb)
+            total += loss.forward(logits, yb)
+            model.zero_grad()
+            model.backward(loss.backward())
+            opt.step()
+        parameter_vector(model, out=rows[r])
+        losses[r] = total / len(batches)
+    return rows, losses
 
 
 def train_rows_serial(
@@ -97,13 +133,16 @@ def train_rows_serial(
 
 
 class ParallelSimulationEngine(SimulationEngine):
-    """Drop-in engine that fans node training out to a process pool.
+    """Drop-in engine that fans node-block training out to a process pool.
 
     ``model_factory`` must be a picklable zero-argument callable
-    producing the same architecture as ``model``. Worth using when
-    ``E × batch × model_flops`` dominates the pickling cost of one
-    parameter row per node per round; for the tiny bench models the
-    serial engine is usually faster.
+    producing the same architecture as ``model``. ``block_size`` caps
+    the nodes per task (default: masked nodes split evenly across
+    workers). Worth using when ``E × batch × model_flops`` dominates the
+    pickling cost of one block per worker per round; for the tiny bench
+    models the serial engine is usually faster. Combine with
+    ``EngineConfig.vectorized`` to run each worker's block through the
+    batched trainer.
     """
 
     def __init__(
@@ -111,11 +150,16 @@ class ParallelSimulationEngine(SimulationEngine):
         model_factory: Callable[[], Module],
         *args,
         processes: int | None = None,
+        block_size: int | None = None,
         **kwargs,
     ) -> None:
         super().__init__(model_factory(), *args, **kwargs)
+        if block_size is not None and block_size <= 0:
+            raise ValueError("block_size must be positive when given")
         self.model_factory = model_factory
+        self.block_size = block_size
         ctx = mp.get_context("fork")
+        self._processes = processes if processes is not None else mp.cpu_count()
         self.pool = ctx.Pool(
             processes=processes,
             initializer=_init_worker,
@@ -138,40 +182,40 @@ class ParallelSimulationEngine(SimulationEngine):
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def run(self, algorithm, start_round: int = 0):  # type: ignore[override]
-        """Identical contract to :meth:`SimulationEngine.run`, with the
-        per-round node loop parallelized."""
-        if algorithm.n_nodes != self.n_nodes:
-            raise ValueError("algorithm node count mismatch")
-        if not 0 <= start_round <= self.config.total_rounds:
-            raise ValueError("start_round out of range")
-        from .metrics import RunHistory
+    def _node_blocks(self, ids: np.ndarray) -> list[np.ndarray]:
+        """Split masked node ids into per-task blocks (ascending order)."""
+        if self.block_size is not None:
+            n_blocks = -(-ids.size // self.block_size)
+        else:
+            n_blocks = min(self._processes, ids.size)
+        return np.array_split(ids, n_blocks)
 
-        history = RunHistory(algorithm=algorithm.name)
+    def _train_round(self, mask: np.ndarray) -> list[float]:
+        """The round's local-training stage, fanned out as node blocks.
+
+        Only this stage is overridden: the inherited
+        :meth:`SimulationEngine.run` keeps the round skeleton —
+        failure-model masking, aggregation, energy accounting with the
+        compressor's communication scale, eval cadence — identical to
+        the serial engine by construction.
+        """
+        ids = np.nonzero(mask)[0]
+        if not ids.size:
+            return []
+        # Sample all batches in the parent to keep rng streams identical
+        # to the serial engine.
         cfg = self.config
-        last_eval = start_round
-        for t in range(start_round + 1, cfg.total_rounds + 1):
-            mask = np.asarray(algorithm.train_mask(t), dtype=bool)
-            if mask.shape != (self.n_nodes,):
-                raise ValueError("train_mask returned wrong shape")
-            ids = np.nonzero(mask)[0]
-            if ids.size:
-                # Sample all batches in the parent to keep rng streams
-                # identical to the serial engine.
-                tasks = []
-                for i in ids:
-                    batches = [
-                        self.nodes[int(i)].sample_batch()
-                        for _ in range(cfg.local_steps)
-                    ]
-                    tasks.append((self.state[int(i)].copy(), batches))
-                rows = self.pool.map(_train_row, tasks)
-                for i, row in zip(ids, rows):
-                    self.state[int(i)] = row
-            self._aggregate(algorithm.use_allreduce, t)
-            if self.meter is not None:
-                self.meter.record_round(mask)
-            if self._should_eval(algorithm, t, last_eval):
-                history.append(self._evaluate(t, mask, bool(mask.any())))
-                last_eval = t
-        return history
+        blocks = self._node_blocks(ids)
+        tasks = []
+        for block_ids in blocks:
+            batch_lists = [
+                [self.nodes[int(i)].sample_batch() for _ in range(cfg.local_steps)]
+                for i in block_ids
+            ]
+            tasks.append((self.state[block_ids], batch_lists, cfg.vectorized))
+        results = self.pool.map(_train_block, tasks)
+        losses: list[float] = []
+        for block_ids, (rows, block_losses) in zip(blocks, results):
+            self.state[block_ids] = rows
+            losses.extend(block_losses)
+        return losses

@@ -1,0 +1,257 @@
+"""Vectorized-engine equivalence tests.
+
+The contract under test (see ``repro.simulation.engine``): with plain
+SGD the vectorized path produces a ``state`` matrix and ``RunHistory``
+**bit-identical** to the serial engine — same RNG batch streams, same
+arithmetic, reordered from per-node loops into stacked kernels — and
+the block-parallel engine matches both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DPSGD, RoundSchedule, SkipTrain
+from repro.core.base import Algorithm
+from repro.data.synthetic import SyntheticSpec
+from repro.nn import small_cnn, small_mlp
+from repro.nn.batched import UnsupportedLayerError
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Sequential
+from repro.simulation import EngineConfig, build_engine
+
+N = 16
+SPEC = SyntheticSpec(num_classes=4, channels=1, image_size=4,
+                     noise_std=1.0, jitter_std=0.3, prototype_resolution=2)
+
+
+def _mlp(rng):
+    return small_mlp(16, 4, hidden=8, rng=rng)
+
+
+def _cnn(rng):
+    return small_cnn(1, 4, 4, channels=4, rng=rng)
+
+
+def _cfg(vectorized, total_rounds=8, weight_decay=0.0):
+    return EngineConfig(local_steps=2, learning_rate=0.2,
+                        total_rounds=total_rounds, eval_every=4,
+                        weight_decay=weight_decay, vectorized=vectorized)
+
+
+def _engine(vectorized, *, seed=7, model_factory=_mlp, topology="ring",
+            parallel=False, n_nodes=N, **cfg_kw):
+    return build_engine(
+        SPEC, n_nodes, _cfg(vectorized, **cfg_kw), model_factory,
+        seed=seed, num_train=25 * n_nodes, num_test=64, batch_size=8,
+        topology=topology, parallel=parallel, processes=3,
+    )
+
+
+def _assert_history_equal(a, b):
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records):
+        assert ra.round == rb.round
+        assert ra.mean_accuracy == rb.mean_accuracy
+        assert ra.std_accuracy == rb.std_accuracy
+        assert ra.consensus == rb.consensus
+        assert ra.cumulative_energy_wh == rb.cumulative_energy_wh
+        assert ra.trained_nodes == rb.trained_nodes
+        assert ra.is_training_round == rb.is_training_round
+        assert (ra.train_loss == rb.train_loss) or (
+            np.isnan(ra.train_loss) and np.isnan(rb.train_loss)
+        )
+
+
+class RandomMask(Algorithm):
+    """Seeded random participation: exercises varying block sizes,
+    including empty and full rounds."""
+
+    name = "random-mask"
+
+    def __init__(self, n_nodes, seed, p=0.5):
+        super().__init__(n_nodes)
+        self.rng = np.random.default_rng(seed)
+        self.p = p
+
+    def train_mask(self, t):
+        return self.rng.random(self.n_nodes) < self.p
+
+
+class TestSerialVectorizedEquivalence:
+    """The ISSUE's strict-equality gate: seeded 16-node ring, plain SGD."""
+
+    @pytest.mark.parametrize("algo_factory", [
+        lambda: DPSGD(N),
+        lambda: SkipTrain(N, RoundSchedule(2, 1)),
+    ], ids=["dpsgd", "skiptrain"])
+    def test_state_and_history_bitwise_equal(self, algo_factory):
+        serial = _engine(False)
+        h_serial = serial.run(algo_factory())
+        vectorized = _engine(True)
+        h_vectorized = vectorized.run(algo_factory())
+        np.testing.assert_array_equal(serial.state, vectorized.state)
+        _assert_history_equal(h_serial, h_vectorized)
+
+    def test_cnn_model_bitwise_equal(self):
+        serial = _engine(False, model_factory=_cnn)
+        h_s = serial.run(DPSGD(N))
+        vectorized = _engine(True, model_factory=_cnn)
+        h_v = vectorized.run(DPSGD(N))
+        np.testing.assert_array_equal(serial.state, vectorized.state)
+        _assert_history_equal(h_s, h_v)
+
+    def test_weight_decay_bitwise_equal(self):
+        serial = _engine(False, weight_decay=0.01)
+        serial.run(DPSGD(N))
+        vectorized = _engine(True, weight_decay=0.01)
+        vectorized.run(DPSGD(N))
+        np.testing.assert_array_equal(serial.state, vectorized.state)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("topology", ["ring", "regular"])
+    def test_property_random_masks_and_topologies(self, seed, topology):
+        """Property-style sweep: random participation masks over both
+        topology families must stay bit-identical."""
+        serial = _engine(False, seed=seed, topology=topology, total_rounds=6)
+        h_s = serial.run(RandomMask(N, seed=seed))
+        vectorized = _engine(True, seed=seed, topology=topology, total_rounds=6)
+        h_v = vectorized.run(RandomMask(N, seed=seed))
+        np.testing.assert_array_equal(serial.state, vectorized.state)
+        _assert_history_equal(h_s, h_v)
+
+
+class TestParallelBlockEquivalence:
+    def test_vectorized_parallel_matches_serial(self):
+        serial = _engine(False)
+        h_s = serial.run(DPSGD(N))
+        with _engine(True, parallel=True) as par:
+            h_p = par.run(DPSGD(N))
+        np.testing.assert_array_equal(serial.state, par.state)
+        _assert_history_equal(h_s, h_p)
+
+    def test_block_size_does_not_change_results(self):
+        with _engine(True, parallel=True) as a:
+            a.block_size = 3
+            h_a = a.run(DPSGD(N))
+        with _engine(True, parallel=True) as b:
+            b.block_size = 16
+            h_b = b.run(DPSGD(N))
+        np.testing.assert_array_equal(a.state, b.state)
+        _assert_history_equal(h_a, h_b)
+
+    def test_momentum_velocity_does_not_leak_across_block_rows(self):
+        """Regression: the block worker must build a fresh optimizer per
+        row, or one node's momentum velocity seeds the next row's first
+        step and results depend on how ids were split into blocks."""
+
+        def run_with_block_size(block_size):
+            eng = build_engine(
+                SPEC, N,
+                EngineConfig(local_steps=2, learning_rate=0.2, total_rounds=4,
+                             eval_every=4, momentum=0.9),
+                _mlp, seed=7, num_train=25 * N, num_test=64, batch_size=8,
+                topology="ring", parallel=True, processes=3,
+                block_size=block_size,
+            )
+            with eng:
+                eng.run(DPSGD(N))
+            return eng.state
+
+        np.testing.assert_array_equal(
+            run_with_block_size(1), run_with_block_size(N)
+        )
+
+    def test_serial_worker_blocks_match_too(self):
+        """Non-vectorized parallel engine (per-row loops inside block
+        tasks) must still match the serial engine bit for bit."""
+        serial = _engine(False)
+        h_s = serial.run(DPSGD(N))
+        with _engine(False, parallel=True) as par:
+            h_p = par.run(DPSGD(N))
+        np.testing.assert_array_equal(serial.state, par.state)
+        _assert_history_equal(h_s, h_p)
+
+    def test_failure_model_respected_by_parallel_engine(self):
+        """The parallel engine inherits the serial round skeleton, so a
+        failure model masks training there too (regression: the old
+        hand-copied run loop silently ignored it)."""
+        from repro.simulation.failures import CrashWindow
+
+        def with_failures(vectorized, parallel):
+            eng = _engine(vectorized, parallel=parallel)
+            eng.failure_model = CrashWindow(N, [0, 3, 5], start=2, end=6)
+            return eng
+
+        serial = with_failures(False, False)
+        h_s = serial.run(DPSGD(N))
+        with with_failures(True, True) as par:
+            h_p = par.run(DPSGD(N))
+        np.testing.assert_array_equal(serial.state, par.state)
+        _assert_history_equal(h_s, h_p)
+
+
+class NoTraining(Algorithm):
+    name = "no-training"
+
+    def train_mask(self, t):
+        return np.zeros(self.n_nodes, dtype=bool)
+
+
+class TestMaskEmptyRegression:
+    """No node trains in a round: every engine flavor must record the
+    same sentinel values instead of diverging (losses == [] quirk)."""
+
+    def _check(self, history):
+        assert len(history.records) > 0
+        for r in history.records:
+            assert np.isnan(r.train_loss)
+            assert r.trained_nodes == 0
+            assert not r.is_training_round
+
+    def test_serial(self):
+        eng = _engine(False, total_rounds=4)
+        self._check(eng.run(NoTraining(N)))
+
+    def test_vectorized(self):
+        eng = _engine(True, total_rounds=4)
+        self._check(eng.run(NoTraining(N)))
+
+    def test_parallel(self):
+        with _engine(True, parallel=True, total_rounds=4) as eng:
+            self._check(eng.run(NoTraining(N)))
+
+    def test_states_identical_across_flavors(self):
+        serial = _engine(False, total_rounds=4)
+        serial.run(NoTraining(N))
+        vectorized = _engine(True, total_rounds=4)
+        vectorized.run(NoTraining(N))
+        np.testing.assert_array_equal(serial.state, vectorized.state)
+
+
+class TestConfigValidation:
+    def test_momentum_rejected_when_vectorized(self):
+        with pytest.raises(ValueError, match="momentum"):
+            EngineConfig(local_steps=1, learning_rate=0.1, total_rounds=1,
+                         momentum=0.9, vectorized=True)
+
+    def test_momentum_bounds_audited(self):
+        with pytest.raises(ValueError):
+            EngineConfig(local_steps=1, learning_rate=0.1, total_rounds=1,
+                         momentum=1.0)
+
+    def test_negative_weight_decay_audited(self):
+        with pytest.raises(ValueError):
+            EngineConfig(local_steps=1, learning_rate=0.1, total_rounds=1,
+                         weight_decay=-0.1)
+
+    def test_nonpositive_eval_node_sample_audited(self):
+        with pytest.raises(ValueError):
+            EngineConfig(local_steps=1, learning_rate=0.1, total_rounds=1,
+                         eval_node_sample=0)
+
+    def test_unsupported_layer_fails_at_construction(self):
+        def dropout_model(rng):
+            return Sequential(Linear(16, 4, rng=rng), Dropout(0.5))
+
+        with pytest.raises(UnsupportedLayerError):
+            _engine(True, model_factory=dropout_model)
