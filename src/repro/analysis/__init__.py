@@ -1,5 +1,7 @@
-"""``repro.analysis`` — trajectory diagnostics and Pareto analysis."""
+"""``repro.analysis`` — trajectory diagnostics, Pareto analysis, and
+cross-seed aggregation statistics for the sweep artifact pipeline."""
 
+from .aggregate import group_by, mean_std, missing_seeds
 from .diagnostics import (
     accuracy_auc,
     empirical_contraction_rate,
@@ -16,4 +18,7 @@ __all__ = [
     "ParetoPoint",
     "pareto_frontier",
     "frontier_from_grid",
+    "mean_std",
+    "group_by",
+    "missing_seeds",
 ]

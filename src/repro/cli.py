@@ -4,11 +4,26 @@ tables/figures without writing Python.
 Usage examples::
 
     python -m repro table 1
-    python -m repro table 2
     python -m repro run --preset cifar10-bench --algorithm skiptrain --degree 3
     python -m repro figure 1 --preset cifar10-bench
     python -m repro gridsearch --preset cifar10-bench --degree 3 --rounds 64
     python -m repro presets
+
+The artifact pipeline (T1 run → T2 aggregate → T3 render)::
+
+    # T1: execute the plan (shardable across machines; resumable — a
+    # rerun skips finished cells and continues killed ones mid-cell)
+    python -m repro sweep --preset cifar10-bench \\
+        --algorithms skiptrain d-psgd --degrees 3 4 6 --seeds 0 1 2 \\
+        --results-dir results --shard 1/2 --checkpoint-every 32
+    python -m repro sweep ... --shard 2/2    # on another machine
+
+    # T2: fold results/raw/*.json into results/summary.csv
+    python -m repro aggregate --results-dir results
+
+    # T3: render paper outputs from the artifacts, no recomputation
+    python -m repro table 3 --from-artifacts results
+    python -m repro figure 1 --from-artifacts results
 """
 
 from __future__ import annotations
@@ -47,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument("number", type=int, choices=[1, 2, 3, 4])
     p_table.add_argument("--preset", default="cifar10-bench")
     p_table.add_argument("--seed", type=int, default=0)
+    p_table.add_argument("--from-artifacts", metavar="DIR", default=None,
+                         help="render from sweep artifacts in DIR instead of "
+                              "recomputing (tables 3 and 4)")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int, choices=[1, 4, 7])
@@ -54,6 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--femnist-preset", default="femnist-bench",
                        help="second preset for figure 7")
     p_fig.add_argument("--seed", type=int, default=0)
+    p_fig.add_argument("--from-artifacts", metavar="DIR", default=None,
+                       help="render from sweep artifacts in DIR instead of "
+                            "recomputing (figure 1)")
 
     p_grid = sub.add_parser("gridsearch",
                             help="Γ_train × Γ_sync grid search (figure 3)")
@@ -69,14 +90,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_fair.add_argument("--degree", type=int, default=None)
     p_fair.add_argument("--seed", type=int, default=0)
 
-    p_sweep = sub.add_parser("sweep",
-                             help="multi-seed algorithm comparison")
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="execute a (preset, algorithm, degree, seed) plan shard, "
+             "one JSON artifact per cell (resumable)",
+    )
     p_sweep.add_argument("--preset", default="cifar10-bench")
-    p_sweep.add_argument("--degree", type=int, default=None)
+    p_sweep.add_argument("--degree", type=int, default=None,
+                         help="single degree (alias for --degrees D)")
+    p_sweep.add_argument("--degrees", type=int, nargs="+", default=None,
+                         help="degrees to sweep (default: the preset's first)")
     p_sweep.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
     p_sweep.add_argument(
         "--algorithms", nargs="+", default=["skiptrain", "d-psgd"],
     )
+    p_sweep.add_argument("--rounds", type=int, default=None,
+                         help="override the preset's total rounds")
+    p_sweep.add_argument("--results-dir", default="results",
+                         help="artifact root (raw/ and checkpoints/ inside)")
+    p_sweep.add_argument("--shard", default="1/1", metavar="I/N",
+                         help="execute only shard I of N (1-based)")
+    p_sweep.add_argument("--checkpoint-every", type=int, default=0,
+                         metavar="ROUNDS",
+                         help="checkpoint long cells about every ROUNDS "
+                              "rounds so a kill resumes mid-cell (0 = off)")
+    p_sweep.add_argument("--vectorized", action="store_true",
+                         help="run cells on the batched multi-node engine "
+                              "(bit-compatible with serial)")
+    p_sweep.add_argument("--dry-run", action="store_true",
+                         help="print the shard's cells and their status "
+                              "without running anything")
+
+    p_agg = sub.add_parser(
+        "aggregate",
+        help="fold results/raw/*.json into a mean±std summary CSV",
+    )
+    p_agg.add_argument("--results-dir", default="results")
+    p_agg.add_argument("--out", default=None,
+                       help="CSV path (default: <results-dir>/summary.csv)")
 
     p_conv = sub.add_parser("convergence",
                             help="consensus-distance mechanism study")
@@ -126,25 +177,72 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
-    from .experiments import get_preset, table1, table2, table3, table4
+    from .experiments import (
+        get_preset,
+        table1,
+        table2,
+        table3,
+        table3_from_artifacts,
+        table4,
+        table4_from_artifacts,
+    )
 
-    if args.number == 1:
-        print(table1())
-    elif args.number == 2:
-        print(table2())
-    elif args.number == 3:
-        print(table3(get_preset(args.preset), seed=args.seed).render())
-    else:
-        print(table4(get_preset(args.preset), seed=args.seed).render())
+    if args.from_artifacts is not None and args.number not in (3, 4):
+        print(f"error: table {args.number} is static and never recomputed; "
+              f"--from-artifacts applies to tables 3 and 4", file=sys.stderr)
+        return 2
+    try:
+        if args.number == 1:
+            print(table1())
+        elif args.number == 2:
+            print(table2())
+        elif args.number == 3:
+            if args.from_artifacts is not None:
+                print(table3_from_artifacts(args.from_artifacts, args.preset))
+            else:
+                print(table3(get_preset(args.preset), seed=args.seed).render())
+        else:
+            if args.from_artifacts is not None:
+                print(table4_from_artifacts(
+                    args.from_artifacts, get_preset(args.preset),
+                    seed=args.seed,
+                ).render())
+            else:
+                print(table4(get_preset(args.preset), seed=args.seed).render())
+    except (FileNotFoundError, ValueError) as exc:
+        # missing cells and ambiguous mixed-rounds directories both
+        # carry actionable messages
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    from .experiments import figure1, figure4, figure7, get_preset
+    from .experiments import (
+        figure1,
+        figure1_from_artifacts,
+        figure4,
+        figure7,
+        get_preset,
+    )
 
     preset = get_preset(args.preset)
+    if args.from_artifacts is not None and args.number != 1:
+        print("error: --from-artifacts applies to figure 1 (figure 4 needs "
+              "an eval-every-round run, figure 7 only builds partitions — "
+              "both recompute in seconds)", file=sys.stderr)
+        return 2
     if args.number == 1:
-        result = figure1(preset, seed=args.seed)
+        try:
+            if args.from_artifacts is not None:
+                result = figure1_from_artifacts(
+                    args.from_artifacts, preset, seed=args.seed
+                )
+            else:
+                result = figure1(preset, seed=args.seed)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         print(result.render())
         print(f"\nall-reduce improvement: {result.improvement() * 100:+.1f} pp")
     elif args.number == 4:
@@ -184,13 +282,72 @@ def _cmd_fairness(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .experiments import compare_algorithms, get_preset
-
-    result = compare_algorithms(
-        get_preset(args.preset), tuple(args.algorithms), tuple(args.seeds),
-        degree=args.degree,
+    from .experiments import (
+        artifact_path,
+        build_plan,
+        get_preset,
+        parse_shard,
+        run_sweep,
+        shard_cells,
     )
-    print(result.render())
+
+    preset = get_preset(args.preset)
+    degrees = args.degrees
+    if degrees is None and args.degree is not None:
+        degrees = [args.degree]
+    try:
+        shard = parse_shard(args.shard)
+        plan = build_plan(
+            preset,
+            tuple(args.algorithms),
+            degrees=degrees,
+            seeds=tuple(args.seeds),
+            total_rounds=args.rounds,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.dry_run:
+        selected = shard_cells(plan, *shard)
+        for cell in selected:
+            status = ("done" if artifact_path(args.results_dir, cell).is_file()
+                      else "pending")
+            print(f"{cell.cell_id}  [{status}]")
+        print(f"\nshard {args.shard}: {len(selected)} of {len(plan)} cells")
+        return 0
+    stats = run_sweep(
+        plan,
+        args.results_dir,
+        shard=shard,
+        checkpoint_every=args.checkpoint_every,
+        vectorized=args.vectorized,
+        log=print,
+    )
+    print(f"shard {args.shard}: ran {len(stats.ran)} "
+          f"({len(stats.resumed)} resumed mid-cell), "
+          f"skipped {len(stats.skipped)} already-complete cells; "
+          f"artifacts under {args.results_dir}/raw")
+    return 0
+
+
+def _cmd_aggregate(args: argparse.Namespace) -> int:
+    from .experiments import aggregate_results, write_summary_csv
+    from .experiments.reporting import render_summary_rows
+
+    rows, gaps = aggregate_results(args.results_dir)
+    if not rows:
+        print(f"error: no raw artifacts under {args.results_dir}/raw "
+              f"(run repro sweep first)", file=sys.stderr)
+        return 1
+    out = args.out if args.out is not None else f"{args.results_dir}/summary.csv"
+    write_summary_csv(rows, out)
+    print(render_summary_rows(rows))
+    print(f"\nwrote {out}")
+    for key, missing in gaps.items():
+        preset, algorithm, degree, rounds = key
+        print(f"warning: {preset}/{algorithm}/deg{degree}/r{rounds} is "
+              f"missing seeds {missing} (partial sweep — means not "
+              f"directly comparable)", file=sys.stderr)
     return 0
 
 
@@ -220,6 +377,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fairness(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "aggregate":
+        return _cmd_aggregate(args)
     if args.command == "convergence":
         return _cmd_convergence(args)
     raise AssertionError(f"unhandled command {args.command!r}")

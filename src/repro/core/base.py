@@ -54,3 +54,18 @@ class Algorithm:
 
     def reset(self) -> None:
         """Restore initial state so the same instance can be re-run."""
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of round-dependent internal state
+        (consumed rng position, remaining budgets), for mid-run
+        checkpointing. Stateless algorithms return ``{}``."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place. The default
+        accepts only the empty snapshot a stateless algorithm emits."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} carries no checkpointable state "
+                f"but was given {sorted(state)}"
+            )

@@ -32,3 +32,16 @@ class Greedy(Algorithm):
 
     def reset(self) -> None:
         self.state = BudgetState(self._budgets)
+
+    def state_dict(self) -> dict:
+        return {"remaining": self.state.remaining.tolist()}
+
+    def load_state_dict(self, state: dict) -> None:
+        remaining = np.asarray(state["remaining"], dtype=np.int64)
+        if remaining.shape != (self.n_nodes,):
+            raise ValueError(
+                f"remaining budgets have shape {remaining.shape}, "
+                f"expected ({self.n_nodes},)"
+            )
+        self.state = BudgetState(self._budgets)
+        self.state.remaining[...] = remaining

@@ -81,3 +81,25 @@ class SkipTrainConstrained(Algorithm):
 
     def reset(self) -> None:
         self.state = BudgetState(self._budgets)
+
+    def state_dict(self) -> dict:
+        # deferred import: core must not import simulation at load time
+        from ..simulation.rng import generator_state
+
+        return {
+            "rng": generator_state(self.rng),
+            "remaining": self.state.remaining.tolist(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from ..simulation.rng import restore_generator
+
+        remaining = np.asarray(state["remaining"], dtype=np.int64)
+        if remaining.shape != (self.n_nodes,):
+            raise ValueError(
+                f"remaining budgets have shape {remaining.shape}, "
+                f"expected ({self.n_nodes},)"
+            )
+        self.rng = restore_generator(state["rng"])
+        self.state = BudgetState(self._budgets)
+        self.state.remaining[...] = remaining

@@ -86,6 +86,40 @@ class EnergyMeter:
         x-axis of the accuracy-vs-energy plots."""
         return np.asarray(self._history_total)
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Round-trippable snapshot of every accumulator, for
+        checkpointing. The arrays are copies; mutating them does not
+        affect the meter."""
+        return {
+            "train_wh": self.train_wh.copy(),
+            "comm_wh": self.comm_wh.copy(),
+            "train_rounds": self.train_rounds.copy(),
+            "history_total": np.asarray(self._history_total, dtype=np.float64),
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict` (in place).
+        The node count must match; mismatches fail loudly."""
+        for key in ("train_wh", "comm_wh", "train_rounds", "history_total"):
+            if key not in state:
+                raise ValueError(f"meter state lacks {key!r}")
+        train_wh = np.asarray(state["train_wh"], dtype=np.float64)
+        comm_wh = np.asarray(state["comm_wh"], dtype=np.float64)
+        train_rounds = np.asarray(state["train_rounds"], dtype=np.int64)
+        for name, arr in (("train_wh", train_wh), ("comm_wh", comm_wh),
+                          ("train_rounds", train_rounds)):
+            if arr.shape != (self.n_nodes,):
+                raise ValueError(
+                    f"meter state {name!r} has shape {arr.shape}, "
+                    f"expected ({self.n_nodes},)"
+                )
+        self.train_wh[...] = train_wh
+        self.comm_wh[...] = comm_wh
+        self.train_rounds[...] = train_rounds
+        self._history_total = [
+            float(v) for v in np.asarray(state["history_total"], dtype=np.float64)
+        ]
+
     def remaining_budget_rounds(self) -> np.ndarray:
         """τᵢ minus training rounds already spent, clipped at zero."""
         return np.maximum(self.trace.budget_rounds - self.train_rounds, 0)

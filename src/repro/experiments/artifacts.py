@@ -1,0 +1,515 @@
+"""Sweep plans and on-disk experiment artifacts (raw JSON → CSV).
+
+The orchestration layer follows the three-step shape of published
+reproduction repos (T1 run → T2 aggregate → T3 render):
+
+* A :class:`SweepPlan` deterministically enumerates (preset, algorithm,
+  degree, seed) cells; :func:`shard_cells` splits the plan round-robin
+  across ``N`` machines so ``--shard 1/N .. N/N`` together cover it
+  exactly once.
+* Each completed cell becomes one self-describing JSON artifact under
+  ``<results>/raw/`` (atomic write: tmp file + ``os.replace``). A cell
+  whose artifact already exists is skipped, so re-running a killed
+  sweep resumes for free, and mixing serial/vectorized engines across
+  shards is safe: the engines are bit-compatible, so every result
+  field is identical (the artifact's ``engine`` block records which
+  one produced it, the only provenance that can differ).
+* :func:`aggregate_results` folds ``raw/*.json`` into mean±std rows per
+  (preset, algorithm, degree) — tolerant of partial sweeps, with
+  explicit per-group seed lists — and :func:`write_summary_csv` emits
+  the deterministic ``summary.csv`` the figure/table renderers read.
+
+Everything here is deterministic: artifacts carry no timestamps, dict
+order is fixed, floats are serialized via ``repr``. Sharded and
+unsharded sweeps over the same plan therefore produce byte-identical
+artifacts and CSVs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..analysis.aggregate import group_by, mean_std, missing_seeds
+from ..simulation.metrics import RoundRecord, RunHistory
+from .presets import ExperimentPreset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import ExperimentResult
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "SUMMARY_COLUMNS",
+    "PlanCell",
+    "build_plan",
+    "parse_shard",
+    "shard_cells",
+    "raw_dir",
+    "checkpoint_dir",
+    "artifact_path",
+    "checkpoint_path",
+    "write_cell_artifact",
+    "load_cell_artifact",
+    "list_cell_artifacts",
+    "ArtifactMeter",
+    "ArtifactResult",
+    "result_from_artifact",
+    "load_cell_result",
+    "resolve_cell",
+    "SummaryRow",
+    "aggregate_results",
+    "write_summary_csv",
+    "read_summary_csv",
+]
+
+ARTIFACT_SCHEMA = "repro/cell-artifact/v1"
+
+
+# --------------------------------------------------------------------------
+# Plan: deterministic cell enumeration and sharding
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, order=True)
+class PlanCell:
+    """One executable sweep cell. ``cell_id`` names its artifact file,
+    so two cells differing in any field never collide on disk."""
+
+    preset: str
+    algorithm: str
+    degree: int
+    seed: int
+    total_rounds: int
+
+    @property
+    def cell_id(self) -> str:
+        return (
+            f"{self.preset}__{self.algorithm}__deg{self.degree}"
+            f"__seed{self.seed}__r{self.total_rounds}"
+        )
+
+
+def build_plan(
+    preset: ExperimentPreset,
+    algorithms: Sequence[str],
+    degrees: Sequence[int] | None = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    total_rounds: int | None = None,
+) -> tuple[PlanCell, ...]:
+    """Enumerate the plan's cells in deterministic order (degree-major,
+    then seed, then algorithm — cells sharing a prepared dataset/graph
+    stay adjacent, so the runner's preparation cache hits)."""
+    if not algorithms:
+        raise ValueError("need at least one algorithm")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    degs = tuple(degrees) if degrees is not None else (preset.degrees[0],)
+    if not degs:
+        raise ValueError("need at least one degree")
+    rounds = total_rounds if total_rounds is not None else preset.total_rounds
+    if rounds <= 0:
+        raise ValueError("total_rounds must be positive")
+    return tuple(
+        PlanCell(
+            preset=preset.name,
+            algorithm=algorithm,
+            degree=int(degree),
+            seed=int(seed),
+            total_rounds=int(rounds),
+        )
+        for degree in degs
+        for seed in seeds
+        for algorithm in algorithms
+    )
+
+
+def parse_shard(spec: str) -> tuple[int, int]:
+    """Parse ``"I/N"`` (1-based) into ``(index, count)``."""
+    try:
+        index_s, count_s = spec.split("/")
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise ValueError(f"shard spec must look like 2/4, got {spec!r}") from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard index must satisfy 1 <= I <= N, got {spec!r}")
+    return index, count
+
+
+def shard_cells(
+    cells: Sequence[PlanCell], index: int, count: int
+) -> tuple[PlanCell, ...]:
+    """Shard ``index`` of ``count`` (1-based), round-robin so long and
+    short presets spread evenly; shards are disjoint and their union in
+    order ``1..N`` is exactly the plan."""
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError("shard index must satisfy 1 <= I <= N")
+    return tuple(cells[index - 1 :: count])
+
+
+# --------------------------------------------------------------------------
+# Raw artifacts: one self-describing JSON per completed cell
+# --------------------------------------------------------------------------
+
+
+def raw_dir(results_dir: str | os.PathLike) -> Path:
+    return Path(results_dir) / "raw"
+
+
+def checkpoint_dir(results_dir: str | os.PathLike) -> Path:
+    return Path(results_dir) / "checkpoints"
+
+
+def artifact_path(results_dir: str | os.PathLike, cell: PlanCell) -> Path:
+    return raw_dir(results_dir) / f"{cell.cell_id}.json"
+
+
+def checkpoint_path(results_dir: str | os.PathLike, cell: PlanCell) -> Path:
+    return checkpoint_dir(results_dir) / f"{cell.cell_id}.npz"
+
+
+def _record_to_json(record: RoundRecord) -> dict:
+    """RoundRecord → JSON object. NaN (no node trained in the evaluated
+    round) is encoded as ``null`` to stay strict-JSON portable."""
+    loss = record.train_loss
+    return {
+        "round": record.round,
+        "mean_accuracy": record.mean_accuracy,
+        "std_accuracy": record.std_accuracy,
+        "consensus": record.consensus,
+        "cumulative_energy_wh": record.cumulative_energy_wh,
+        "trained_nodes": record.trained_nodes,
+        "is_training_round": record.is_training_round,
+        "train_loss": None if math.isnan(loss) else loss,
+    }
+
+
+def _record_from_json(obj: dict) -> RoundRecord:
+    loss = obj["train_loss"]
+    return RoundRecord(
+        round=int(obj["round"]),
+        mean_accuracy=float(obj["mean_accuracy"]),
+        std_accuracy=float(obj["std_accuracy"]),
+        consensus=float(obj["consensus"]),
+        cumulative_energy_wh=float(obj["cumulative_energy_wh"]),
+        trained_nodes=int(obj["trained_nodes"]),
+        is_training_round=bool(obj["is_training_round"]),
+        train_loss=float("nan") if loss is None else float(loss),
+    )
+
+
+def write_cell_artifact(
+    results_dir: str | os.PathLike,
+    cell: PlanCell,
+    result: "ExperimentResult",
+    vectorized: bool = False,
+) -> Path:
+    """Atomically write ``<results>/raw/<cell_id>.json`` and return its
+    path. The artifact is self-describing (schema tag + full cell
+    coordinates) and deterministic (no timestamps, ``repr`` floats)."""
+    payload = {
+        "schema": ARTIFACT_SCHEMA,
+        "cell": {
+            "preset": cell.preset,
+            "algorithm": cell.algorithm,
+            "degree": cell.degree,
+            "seed": cell.seed,
+            "total_rounds": cell.total_rounds,
+        },
+        "engine": {"vectorized": vectorized},
+        "results": {
+            "final_accuracy": result.history.final_accuracy(),
+            "best_accuracy": result.history.best_accuracy(),
+            "total_train_wh": result.meter.total_train_wh,
+            "total_comm_wh": result.meter.total_comm_wh,
+        },
+        "history": {
+            "algorithm": result.history.algorithm,
+            "records": [_record_to_json(r) for r in result.history.records],
+        },
+    }
+    path = artifact_path(results_dir, cell)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1, allow_nan=False) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_cell_artifact(path: str | os.PathLike) -> dict:
+    """Read and validate one raw artifact."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"{path}: unknown artifact schema {payload.get('schema')!r}"
+        )
+    return payload
+
+
+def list_cell_artifacts(results_dir: str | os.PathLike) -> list[dict]:
+    """All raw artifacts under ``results_dir``, in sorted filename order
+    (deterministic regardless of completion order)."""
+    directory = raw_dir(results_dir)
+    if not directory.is_dir():
+        return []
+    return [
+        load_cell_artifact(p) for p in sorted(directory.glob("*.json"))
+    ]
+
+
+@dataclass(frozen=True)
+class ArtifactMeter:
+    """Energy totals reloaded from an artifact — duck-types the slice
+    of :class:`~repro.energy.accounting.EnergyMeter` the figure/table
+    renderers consume."""
+
+    total_train_wh: float
+    total_comm_wh: float
+
+    @property
+    def total_wh(self) -> float:
+        return self.total_train_wh + self.total_comm_wh
+
+
+@dataclass(frozen=True)
+class ArtifactResult:
+    """History + energy totals reloaded from a raw artifact; stands in
+    for :class:`~repro.experiments.runner.ExperimentResult` when paper
+    outputs are regenerated from artifacts instead of recomputation."""
+
+    cell: PlanCell
+    history: RunHistory
+    meter: ArtifactMeter
+
+
+def result_from_artifact(payload: dict) -> ArtifactResult:
+    """Rebuild the run's history and energy totals from one artifact."""
+    cell = PlanCell(**payload["cell"])
+    history = RunHistory(
+        algorithm=payload["history"]["algorithm"],
+        records=[_record_from_json(r) for r in payload["history"]["records"]],
+    )
+    meter = ArtifactMeter(
+        total_train_wh=float(payload["results"]["total_train_wh"]),
+        total_comm_wh=float(payload["results"]["total_comm_wh"]),
+    )
+    return ArtifactResult(cell=cell, history=history, meter=meter)
+
+
+def load_cell_result(
+    results_dir: str | os.PathLike, cell: PlanCell
+) -> ArtifactResult:
+    """Load one cell's artifact, with a sweep-command hint on miss."""
+    path = artifact_path(results_dir, cell)
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"no artifact for cell {cell.cell_id}; run: repro sweep "
+            f"--preset {cell.preset} --algorithms {cell.algorithm} "
+            f"--degrees {cell.degree} --seeds {cell.seed} "
+            f"--rounds {cell.total_rounds} --results-dir {results_dir}"
+        )
+    return result_from_artifact(load_cell_artifact(path))
+
+
+def resolve_cell(
+    results_dir: str | os.PathLike,
+    preset: str,
+    algorithm: str,
+    degree: int,
+    seed: int,
+    total_rounds: int | None = None,
+) -> PlanCell:
+    """The cell coordinate for an artifact on disk. With ``total_rounds
+    = None`` the rounds value is discovered from the artifacts present
+    (sweeps run with ``--rounds`` overrides still render); ambiguity —
+    the same cell at several rounds values — fails loudly."""
+    if total_rounds is not None:
+        return PlanCell(preset, algorithm, degree, seed, total_rounds)
+    stem = f"{preset}__{algorithm}__deg{degree}__seed{seed}__r"
+    candidates = sorted(
+        int(p.stem[len(stem):])
+        for p in raw_dir(results_dir).glob(f"{stem}*.json")
+        if p.stem[len(stem):].isdigit()
+    )
+    if not candidates:
+        raise FileNotFoundError(
+            f"no artifact matching {stem}*.json under "
+            f"{raw_dir(results_dir)}; run: repro sweep --preset {preset} "
+            f"--algorithms {algorithm} --degrees {degree} --seeds {seed} "
+            f"--results-dir {results_dir}"
+        )
+    if len(candidates) > 1:
+        raise ValueError(
+            f"ambiguous artifacts for {stem}*: rounds {candidates}; "
+            f"pass an explicit total_rounds"
+        )
+    return PlanCell(preset, algorithm, degree, seed, candidates[0])
+
+
+# --------------------------------------------------------------------------
+# Aggregation: raw/*.json → summary.csv (mean ± std over seeds)
+# --------------------------------------------------------------------------
+
+SUMMARY_COLUMNS = (
+    "preset",
+    "algorithm",
+    "degree",
+    "total_rounds",
+    "n_seeds",
+    "seeds",
+    "final_accuracy_mean",
+    "final_accuracy_std",
+    "best_accuracy_mean",
+    "best_accuracy_std",
+    "train_wh_mean",
+    "train_wh_std",
+    "comm_wh_mean",
+    "comm_wh_std",
+)
+
+
+@dataclass(frozen=True)
+class SummaryRow:
+    """One aggregated (preset, algorithm, degree) group."""
+
+    preset: str
+    algorithm: str
+    degree: int
+    total_rounds: int
+    seeds: tuple[int, ...]
+    final_accuracy_mean: float
+    final_accuracy_std: float
+    best_accuracy_mean: float
+    best_accuracy_std: float
+    train_wh_mean: float
+    train_wh_std: float
+    comm_wh_mean: float
+    comm_wh_std: float
+
+    @property
+    def n_seeds(self) -> int:
+        return len(self.seeds)
+
+
+def aggregate_results(
+    results_dir: str | os.PathLike,
+) -> tuple[list[SummaryRow], dict[tuple, list[int]]]:
+    """Fold every raw artifact into mean±std summary rows.
+
+    Returns ``(rows, gaps)`` where ``gaps`` maps group keys to seeds
+    missing relative to the union over all groups — partial sweeps
+    aggregate fine, but ragged seed coverage is reported rather than
+    hidden. Rows are sorted by (preset, algorithm, degree, rounds), so
+    the CSV is byte-identical however the shards were executed.
+    """
+    artifacts = list_cell_artifacts(results_dir)
+    groups = group_by(
+        artifacts,
+        key=lambda a: (
+            a["cell"]["preset"],
+            a["cell"]["algorithm"],
+            int(a["cell"]["degree"]),
+            int(a["cell"]["total_rounds"]),
+        ),
+    )
+    rows = []
+    for key in sorted(groups):
+        preset, algorithm, degree, rounds = key
+        cells = sorted(groups[key], key=lambda a: int(a["cell"]["seed"]))
+        seeds = tuple(int(a["cell"]["seed"]) for a in cells)
+        if len(set(seeds)) != len(seeds):
+            raise ValueError(f"duplicate seeds in group {key}: {seeds}")
+        acc_m, acc_s = mean_std([a["results"]["final_accuracy"] for a in cells])
+        best_m, best_s = mean_std([a["results"]["best_accuracy"] for a in cells])
+        train_m, train_s = mean_std([a["results"]["total_train_wh"] for a in cells])
+        comm_m, comm_s = mean_std([a["results"]["total_comm_wh"] for a in cells])
+        rows.append(
+            SummaryRow(
+                preset=preset,
+                algorithm=algorithm,
+                degree=degree,
+                total_rounds=rounds,
+                seeds=seeds,
+                final_accuracy_mean=acc_m,
+                final_accuracy_std=acc_s,
+                best_accuracy_mean=best_m,
+                best_accuracy_std=best_s,
+                train_wh_mean=train_m,
+                train_wh_std=train_s,
+                comm_wh_mean=comm_m,
+                comm_wh_std=comm_s,
+            )
+        )
+    gaps = missing_seeds({
+        (r.preset, r.algorithm, r.degree, r.total_rounds): r.seeds for r in rows
+    })
+    return rows, gaps
+
+
+def write_summary_csv(
+    rows: Iterable[SummaryRow], path: str | os.PathLike
+) -> Path:
+    """Write aggregated rows as a deterministic CSV (``repr`` floats,
+    ``\\n`` newlines, atomic replace)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", newline="") as fh:
+        writer = csv.writer(fh, lineterminator="\n")
+        writer.writerow(SUMMARY_COLUMNS)
+        for row in rows:
+            writer.writerow(
+                [
+                    row.preset,
+                    row.algorithm,
+                    row.degree,
+                    row.total_rounds,
+                    row.n_seeds,
+                    ";".join(str(s) for s in row.seeds),
+                    repr(row.final_accuracy_mean),
+                    repr(row.final_accuracy_std),
+                    repr(row.best_accuracy_mean),
+                    repr(row.best_accuracy_std),
+                    repr(row.train_wh_mean),
+                    repr(row.train_wh_std),
+                    repr(row.comm_wh_mean),
+                    repr(row.comm_wh_std),
+                ]
+            )
+    os.replace(tmp, path)
+    return path
+
+
+def read_summary_csv(path: str | os.PathLike) -> list[SummaryRow]:
+    """Parse a :func:`write_summary_csv` file back into rows (the
+    ``table --from-artifacts`` entry point reads these)."""
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        missing = set(SUMMARY_COLUMNS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"{path}: missing columns {sorted(missing)}")
+        return [
+            SummaryRow(
+                preset=rec["preset"],
+                algorithm=rec["algorithm"],
+                degree=int(rec["degree"]),
+                total_rounds=int(rec["total_rounds"]),
+                seeds=tuple(
+                    int(s) for s in rec["seeds"].split(";") if s
+                ),
+                final_accuracy_mean=float(rec["final_accuracy_mean"]),
+                final_accuracy_std=float(rec["final_accuracy_std"]),
+                best_accuracy_mean=float(rec["best_accuracy_mean"]),
+                best_accuracy_std=float(rec["best_accuracy_std"]),
+                train_wh_mean=float(rec["train_wh_mean"]),
+                train_wh_std=float(rec["train_wh_std"]),
+                comm_wh_mean=float(rec["comm_wh_mean"]),
+                comm_wh_std=float(rec["comm_wh_std"]),
+            )
+            for rec in reader
+        ]

@@ -3,6 +3,10 @@
 Each ``figureN`` function runs the experiment behind the paper's figure
 N and returns the underlying data (plus an ASCII rendering via
 ``render()``), at whatever preset scale the caller passes.
+
+``figureN_from_artifacts`` variants regenerate the same output from
+sweep artifacts (``results/raw/*.json``) instead of recomputation —
+run the cells once with ``repro sweep``, then re-render for free.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from .runner import ExperimentResult, prepare, run_algorithm
 __all__ = [
     "Figure1Result",
     "figure1",
+    "figure1_from_artifacts",
     "Figure4Result",
     "figure4",
     "Figure5Result",
@@ -69,6 +74,27 @@ def figure1(
     dpsgd = run_algorithm(prepared, "d-psgd")
     allreduce = run_algorithm(prepared, "d-psgd-allreduce")
     return Figure1Result(dpsgd=dpsgd.history, allreduce=allreduce.history)
+
+
+def figure1_from_artifacts(
+    results_dir: str,
+    preset: ExperimentPreset,
+    degree: int | None = None,
+    seed: int = 0,
+) -> Figure1Result:
+    """Rebuild Fig. 1 from the ``d-psgd`` and ``d-psgd-allreduce``
+    sweep artifacts (no recomputation; raises with the sweep command
+    to run if a cell is missing)."""
+    from .artifacts import load_cell_result, resolve_cell
+
+    deg = degree if degree is not None else preset.degrees[0]
+    histories = {}
+    for algorithm in ("d-psgd", "d-psgd-allreduce"):
+        cell = resolve_cell(results_dir, preset.name, algorithm, deg, seed)
+        histories[algorithm] = load_cell_result(results_dir, cell).history
+    return Figure1Result(
+        dpsgd=histories["d-psgd"], allreduce=histories["d-psgd-allreduce"]
+    )
 
 
 # --------------------------------------------------------------------------

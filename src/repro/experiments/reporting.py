@@ -1,12 +1,18 @@
-"""Plain-text rendering of tables and heatmaps (the repo has no
-plotting dependency; every figure is regenerated as its underlying
-numbers plus an ASCII view)."""
+"""Plain-text rendering of tables, heatmaps, and aggregated sweep
+summaries (the repo has no plotting dependency; every figure is
+regenerated as its underlying numbers plus an ASCII view — the
+machine-readable form lives in the artifact CSVs)."""
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["render_table", "render_heatmap", "render_series"]
+__all__ = [
+    "render_table",
+    "render_heatmap",
+    "render_series",
+    "render_summary_rows",
+]
 
 
 def render_table(
@@ -32,6 +38,26 @@ def render_table(
     for row in cells:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def render_summary_rows(rows) -> str:
+    """Human view of aggregated sweep rows (the CSV holds full
+    precision; this prints the comparison columns)."""
+    table_rows = [
+        [
+            r.preset, r.algorithm, r.degree, r.total_rounds, r.n_seeds,
+            f"{r.final_accuracy_mean * 100:.2f} "
+            f"±{r.final_accuracy_std * 100:.2f}",
+            f"{r.train_wh_mean:.2f}",
+        ]
+        for r in rows
+    ]
+    return render_table(
+        ["preset", "algorithm", "degree", "rounds", "seeds",
+         "accuracy % (mean ± std)", "train Wh (mean)"],
+        table_rows,
+        title="Aggregated sweep results",
+    )
 
 
 def render_heatmap(

@@ -2,7 +2,12 @@
 
 This is the one place that wires data synthesis, partitioning,
 topology, energy traces, engine and algorithm together, so every
-figure/table reproduction and example goes through the same code path.
+figure/table reproduction, example, and sweep cell goes through the
+same code path. :func:`build_run` exposes the wired-but-not-yet-run
+(engine, algorithm) pair so the sweep orchestrator can restore a
+mid-cell checkpoint before running; ``vectorized=True`` selects the
+batched multi-node engine (bit-compatible with serial for plain SGD,
+so artifacts are identical whichever engine produced them).
 """
 
 from __future__ import annotations
@@ -27,7 +32,13 @@ from ..simulation.metrics import RunHistory
 from ..simulation.rng import RngFactory
 from .presets import ExperimentPreset
 
-__all__ = ["ExperimentResult", "PreparedExperiment", "prepare", "run_algorithm"]
+__all__ = [
+    "ExperimentResult",
+    "PreparedExperiment",
+    "prepare",
+    "build_run",
+    "run_algorithm",
+]
 
 
 @dataclass
@@ -157,21 +168,21 @@ def _make_algorithm(
     raise KeyError(f"unknown algorithm {name!r}")
 
 
-def run_algorithm(
+def build_run(
     prepared: PreparedExperiment,
     algorithm: str | Algorithm,
     schedule: RoundSchedule | None = None,
     total_rounds: int | None = None,
     eval_every: int | None = None,
     eval_on: str = "test",
-) -> ExperimentResult:
-    """Run one algorithm on a prepared experiment cell.
+    vectorized: bool = False,
+) -> tuple[SimulationEngine, Algorithm]:
+    """Wire the (engine, algorithm) pair for one cell without running.
 
-    ``schedule``/``total_rounds``/``eval_every`` override the preset
-    (the grid search varies the schedule; Fig. 4 shortens the eval
-    cadence). ``eval_on`` selects the evaluation split: ``"test"`` for
-    result experiments, ``"validation"`` for hyperparameter tuning
-    (the paper's grid search uses the validation set, §4.2–4.3).
+    Construction is deterministic in ``prepared`` and the overrides:
+    two calls yield engines whose runs are bit-identical. The sweep
+    orchestrator relies on this to rebuild a killed cell's engine and
+    restore a mid-run checkpoint into it.
     """
     if eval_on not in ("test", "validation"):
         raise ValueError('eval_on must be "test" or "validation"')
@@ -184,6 +195,7 @@ def run_algorithm(
         total_rounds=rounds,
         eval_every=eval_every if eval_every is not None else preset.eval_every,
         eval_node_sample=preset.eval_node_sample,
+        vectorized=vectorized,
     )
     model = preset.model_factory(rngs.stream("model"))
     nodes = build_nodes(
@@ -203,5 +215,39 @@ def run_algorithm(
         algo = _make_algorithm(algorithm, prepared, schedule, rounds, rngs)
     else:
         algo = algorithm
+    return engine, algo
+
+
+def run_algorithm(
+    prepared: PreparedExperiment,
+    algorithm: str | Algorithm,
+    schedule: RoundSchedule | None = None,
+    total_rounds: int | None = None,
+    eval_every: int | None = None,
+    eval_on: str = "test",
+    vectorized: bool = False,
+) -> ExperimentResult:
+    """Run one algorithm on a prepared experiment cell.
+
+    ``schedule``/``total_rounds``/``eval_every`` override the preset
+    (the grid search varies the schedule; Fig. 4 shortens the eval
+    cadence). ``eval_on`` selects the evaluation split: ``"test"`` for
+    result experiments, ``"validation"`` for hyperparameter tuning
+    (the paper's grid search uses the validation set, §4.2–4.3).
+    ``vectorized`` runs local training on the batched multi-node
+    engine.
+    """
+    engine, algo = build_run(
+        prepared,
+        algorithm,
+        schedule=schedule,
+        total_rounds=total_rounds,
+        eval_every=eval_every,
+        eval_on=eval_on,
+        vectorized=vectorized,
+    )
     history = engine.run(algo)
-    return ExperimentResult(history=history, meter=meter, trace=prepared.trace)
+    assert engine.meter is not None
+    return ExperimentResult(
+        history=history, meter=engine.meter, trace=prepared.trace
+    )

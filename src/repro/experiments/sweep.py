@@ -1,23 +1,55 @@
-"""Multi-seed sweeps with mean ± std aggregation.
+"""Multi-seed sweeps: in-memory comparison and the resumable, sharded
+on-disk orchestrator.
 
 Single-seed comparisons can flip on noise; the paper itself reports
-mean curves with std bands (Fig. 4). This module repeats an experiment
-cell over seeds and aggregates final accuracy and energy, giving every
-headline comparison an uncertainty estimate.
+mean curves with std bands (Fig. 4). Two execution styles live here:
+
+* :func:`seed_sweep` / :func:`compare_algorithms` — the original
+  in-memory path: repeat a cell over seeds, aggregate mean ± std,
+  render a table. Everything is lost on a crash.
+* :func:`run_sweep` / :func:`run_cell` — the production path: execute
+  a deterministic :func:`~repro.experiments.artifacts.build_plan`
+  (optionally one ``--shard I/N`` slice of it), write one JSON
+  artifact per completed cell under ``<results>/raw/``, skip cells
+  whose artifact already exists, and checkpoint long cells every
+  ``checkpoint_every`` rounds via
+  :func:`~repro.simulation.checkpoint.save_run_checkpoint` so a killed
+  3000-round run resumes mid-cell instead of from round 0. Aggregation
+  to CSV is a separate step (``repro aggregate``), tolerant of partial
+  sweeps.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from ..core.schedule import RoundSchedule
-from .presets import ExperimentPreset
+from ..simulation.checkpoint import load_run_checkpoint, save_run_checkpoint
+from .artifacts import (
+    PlanCell,
+    artifact_path,
+    checkpoint_path,
+    shard_cells,
+    write_cell_artifact,
+)
+from .presets import ExperimentPreset, get_preset
 from .reporting import render_table
-from .runner import prepare, run_algorithm
+from .runner import ExperimentResult, build_run, prepare, run_algorithm
 
-__all__ = ["SweepCell", "SweepResult", "seed_sweep", "compare_algorithms"]
+__all__ = [
+    "SweepCell",
+    "SweepResult",
+    "seed_sweep",
+    "compare_algorithms",
+    "SweepRunStats",
+    "run_cell",
+    "run_sweep",
+    "sweep_result_from_artifacts",
+]
 
 
 @dataclass(frozen=True)
@@ -117,3 +149,193 @@ def compare_algorithms(
         for name in algorithms
     }
     return SweepResult(degree=deg, cells=cells)
+
+
+# --------------------------------------------------------------------------
+# Resumable on-disk orchestration (one JSON artifact per cell)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class SweepRunStats:
+    """What one :func:`run_sweep` invocation did with its shard."""
+
+    ran: list[PlanCell] = field(default_factory=list)
+    skipped: list[PlanCell] = field(default_factory=list)
+    resumed: list[PlanCell] = field(default_factory=list)
+
+
+def run_cell(
+    preset: ExperimentPreset,
+    cell: PlanCell,
+    results_dir: str | os.PathLike,
+    *,
+    prepared=None,
+    checkpoint_every: int = 0,
+    vectorized: bool = False,
+    round_hook: Callable | None = None,
+) -> tuple[ExperimentResult, bool]:
+    """Execute one plan cell and write its raw artifact.
+
+    If a mid-run checkpoint for the cell exists (a previous process was
+    killed partway), the engine, rng streams, algorithm state, and
+    partial history are restored from it and the run continues from the
+    checkpointed round — bit-identical to an uninterrupted run. With
+    ``checkpoint_every > 0``, a fresh checkpoint is written at the
+    first evaluation round at least that many rounds after the last
+    one (checkpoints land on evaluation rounds because only those
+    resume exactly; see :meth:`SimulationEngine.run`). The checkpoint
+    is deleted once the artifact is safely on disk.
+
+    Returns ``(result, resumed_from_checkpoint)``.
+    """
+    if preset.name != cell.preset:
+        raise ValueError(
+            f"cell {cell.cell_id} belongs to preset {cell.preset!r}, "
+            f"got {preset.name!r}"
+        )
+    if prepared is None:
+        prepared = prepare(preset, cell.degree, seed=cell.seed)
+    engine, algo = build_run(
+        prepared,
+        cell.algorithm,
+        total_rounds=cell.total_rounds,
+        vectorized=vectorized,
+    )
+    ckpt = checkpoint_path(results_dir, cell)
+    start_round, history = 0, None
+    resumed = ckpt.is_file()
+    if resumed:
+        start_round, history = load_run_checkpoint(engine, algo, ckpt)
+
+    last_ckpt = {"round": start_round}
+
+    def hook(eng, t, hist, last_eval):
+        if (
+            checkpoint_every > 0
+            and t == last_eval  # evaluation rounds resume exactly
+            and t < cell.total_rounds
+            and t - last_ckpt["round"] >= checkpoint_every
+        ):
+            ckpt.parent.mkdir(parents=True, exist_ok=True)
+            save_run_checkpoint(eng, algo, hist, t, ckpt)
+            last_ckpt["round"] = t
+        if round_hook is not None:
+            round_hook(eng, t, hist, last_eval)
+
+    history = engine.run(
+        algo, start_round=start_round, history=history, round_hook=hook
+    )
+    assert engine.meter is not None
+    result = ExperimentResult(
+        history=history, meter=engine.meter, trace=prepared.trace
+    )
+    write_cell_artifact(results_dir, cell, result, vectorized=vectorized)
+    ckpt.unlink(missing_ok=True)
+    return result, resumed
+
+
+def run_sweep(
+    cells: tuple[PlanCell, ...],
+    results_dir: str | os.PathLike,
+    *,
+    shard: tuple[int, int] = (1, 1),
+    checkpoint_every: int = 0,
+    vectorized: bool = False,
+    preset_lookup: Callable[[str], ExperimentPreset] = get_preset,
+    log: Callable[[str], None] | None = None,
+    round_hook: Callable | None = None,
+) -> SweepRunStats:
+    """Execute shard ``I/N`` of a plan, artifact-by-artifact.
+
+    Cells whose raw artifact already exists are skipped, so re-running
+    after a crash (or over a directory another shard already filled)
+    never redoes finished work. Preparation (data synthesis, partition,
+    topology) is cached across consecutive cells sharing a (preset,
+    degree, seed) coordinate; the shard's cells are regrouped by that
+    coordinate before execution so the cache also hits under
+    round-robin sharding (execution order within a shard is free —
+    artifacts are per-cell and deterministic).
+    """
+    index, count = shard
+    selected = sorted(
+        shard_cells(cells, index, count),
+        key=lambda c: (c.preset, c.degree, c.seed),
+    )
+    stats = SweepRunStats()
+    say = log if log is not None else (lambda msg: None)
+    prep_key, prep_val = None, None
+    for pos, cell in enumerate(selected, 1):
+        if artifact_path(results_dir, cell).is_file():
+            stats.skipped.append(cell)
+            say(f"[{pos}/{len(selected)}] skip {cell.cell_id} (artifact exists)")
+            continue
+        preset = preset_lookup(cell.preset)
+        key = (cell.preset, cell.degree, cell.seed)
+        if key != prep_key:
+            prep_key, prep_val = key, prepare(preset, cell.degree, seed=cell.seed)
+        say(f"[{pos}/{len(selected)}] run  {cell.cell_id}")
+        _, resumed = run_cell(
+            preset,
+            cell,
+            results_dir,
+            prepared=prep_val,
+            checkpoint_every=checkpoint_every,
+            vectorized=vectorized,
+            round_hook=round_hook,
+        )
+        stats.ran.append(cell)
+        if resumed:
+            stats.resumed.append(cell)
+            say(f"    resumed {cell.cell_id} from mid-cell checkpoint")
+    return stats
+
+
+def sweep_result_from_artifacts(
+    results_dir: str | os.PathLike,
+    preset_name: str,
+    degree: int,
+    total_rounds: int | None = None,
+) -> SweepResult:
+    """Rebuild a :class:`SweepResult` (the mean±std comparison table)
+    from raw artifacts instead of recomputation. With ``total_rounds=
+    None`` the rounds value is discovered from the artifacts; a mix of
+    rounds values is ambiguous (the same seed would enter one mean at
+    two training lengths) and fails loudly."""
+    from .artifacts import list_cell_artifacts
+
+    cells: dict[str, SweepCell] = {}
+    matching = [
+        a
+        for a in list_cell_artifacts(results_dir)
+        if a["cell"]["preset"] == preset_name
+        and int(a["cell"]["degree"]) == degree
+    ]
+    rounds_present = sorted({int(a["cell"]["total_rounds"]) for a in matching})
+    if total_rounds is None and len(rounds_present) > 1:
+        raise ValueError(
+            f"artifacts for preset {preset_name!r} degree {degree} mix "
+            f"total_rounds {rounds_present}; pass an explicit total_rounds"
+        )
+    artifacts = [
+        a
+        for a in matching
+        if total_rounds is None
+        or int(a["cell"]["total_rounds"]) == total_rounds
+    ]
+    by_algorithm: dict[str, list[dict]] = {}
+    for artifact in artifacts:
+        by_algorithm.setdefault(artifact["cell"]["algorithm"], []).append(artifact)
+    for name in sorted(by_algorithm):
+        group = sorted(by_algorithm[name], key=lambda a: int(a["cell"]["seed"]))
+        cells[name] = SweepCell(
+            algorithm=name,
+            accuracies=tuple(a["results"]["final_accuracy"] for a in group),
+            train_energies_wh=tuple(a["results"]["total_train_wh"] for a in group),
+        )
+    if not cells:
+        raise FileNotFoundError(
+            f"no artifacts for preset {preset_name!r} degree {degree} "
+            f"under {results_dir}"
+        )
+    return SweepResult(degree=degree, cells=cells)

@@ -13,7 +13,12 @@ from .async_engine import (
     AsyncSkipTrainConstrained,
 )
 from .builder import build_engine, build_nodes
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (
+    load_checkpoint,
+    load_run_checkpoint,
+    save_checkpoint,
+    save_run_checkpoint,
+)
 from .engine import EngineConfig, SimulationEngine
 from .failures import (
     CrashWindow,
@@ -40,7 +45,7 @@ from .metrics import (
 from .network import MessagePassingNetwork, TrafficStats
 from .node import Node
 from .parallel import ParallelSimulationEngine
-from .rng import RngFactory
+from .rng import RngFactory, generator_state, restore_generator
 
 __all__ = [
     "RngFactory",
@@ -77,4 +82,8 @@ __all__ = [
     "per_node_accuracy",
     "save_checkpoint",
     "load_checkpoint",
+    "save_run_checkpoint",
+    "load_run_checkpoint",
+    "generator_state",
+    "restore_generator",
 ]

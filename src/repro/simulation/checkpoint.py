@@ -1,34 +1,59 @@
 """Engine checkpointing.
 
 Long sweeps (the paper's FEMNIST runs are 3000 rounds) need restart
-capability. A checkpoint captures everything round-dependent outside
-the algorithm object: the state matrix, the round counter, and the
-energy meter's accumulators. Saved as a single ``.npz``.
+capability. Two granularities are provided, both written atomically
+(tmp file + ``os.replace``) so a kill mid-write never leaves a corrupt
+checkpoint behind:
 
-Algorithms with internal state (budgets, rng streams) are the caller's
-responsibility to reconstruct — deterministic seeding (RngFactory)
-makes replaying their consumed randomness straightforward, and
-:class:`~repro.core.budget.BudgetState` can be rebuilt from the meter's
-per-node training-round counters (also checkpointed).
+* :func:`save_checkpoint` / :func:`load_checkpoint` — the original
+  engine-only snapshot: state matrix, round counter, and the energy
+  meter's accumulators (via the meter's public
+  :meth:`~repro.energy.accounting.EnergyMeter.state_dict` API). The
+  caller owns algorithm state and rng streams.
+* :func:`save_run_checkpoint` / :func:`load_run_checkpoint` — the full
+  mid-run snapshot the sweep orchestrator uses: everything above plus
+  every node's batch-sampling rng position, the evaluation rng, the
+  algorithm's :meth:`~repro.core.base.Algorithm.state_dict`, and the
+  :class:`~repro.simulation.metrics.RunHistory` accumulated so far. A
+  killed 3000-round cell restored through this pair continues
+  bit-for-bit: the resumed run's history and final state are exactly
+  equal to an uninterrupted run's (provided the checkpoint was taken
+  at an evaluation round — see :meth:`SimulationEngine.run`). Engine
+  configurations whose state cannot be fully captured (momentum,
+  stochastic compressors, failure models) are rejected at save time.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
 
-from ..energy.accounting import EnergyMeter
+from ..core.base import Algorithm
 from .engine import SimulationEngine
+from .metrics import RoundRecord, RunHistory
+from .rng import generator_state, restore_generator
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_run_checkpoint",
+    "load_run_checkpoint",
+]
 
 
-def save_checkpoint(
-    engine: SimulationEngine, round_index: int, path: str | os.PathLike
-) -> None:
-    """Persist the engine's round-dependent state after ``round_index``
-    completed rounds."""
+def _atomic_savez(path: str | os.PathLike, payload: dict) -> None:
+    """Write an ``.npz`` atomically: a crash mid-write leaves only a
+    ``.tmp`` file that the loader never looks at."""
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        np.savez(fh, **payload)
+    os.replace(tmp, path)
+
+
+def _engine_payload(engine: SimulationEngine, round_index: int) -> dict:
     if round_index < 0:
         raise ValueError("round_index must be non-negative")
     payload = {
@@ -36,11 +61,39 @@ def save_checkpoint(
         "round_index": np.array(round_index, dtype=np.int64),
     }
     if engine.meter is not None:
-        payload["train_wh"] = engine.meter.train_wh
-        payload["comm_wh"] = engine.meter.comm_wh
-        payload["train_rounds"] = engine.meter.train_rounds
-        payload["history_total"] = np.asarray(engine.meter._history_total)
-    np.savez(path, **payload)
+        payload.update(engine.meter.state_dict())
+    return payload
+
+
+def _restore_engine(engine: SimulationEngine, archive) -> int:
+    state = archive["state"]
+    if state.shape != engine.state.shape:
+        raise ValueError(
+            f"checkpoint state shape {state.shape} does not match "
+            f"engine {engine.state.shape}"
+        )
+    engine.state[...] = state
+    round_index = int(archive["round_index"])
+    if engine.meter is not None:
+        if "train_wh" not in archive:
+            raise ValueError("checkpoint lacks energy-meter arrays")
+        engine.meter.load_state_dict(
+            {
+                "train_wh": archive["train_wh"],
+                "comm_wh": archive["comm_wh"],
+                "train_rounds": archive["train_rounds"],
+                "history_total": archive["history_total"],
+            }
+        )
+    return round_index
+
+
+def save_checkpoint(
+    engine: SimulationEngine, round_index: int, path: str | os.PathLike
+) -> None:
+    """Persist the engine's round-dependent state after ``round_index``
+    completed rounds."""
+    _atomic_savez(path, _engine_payload(engine, round_index))
 
 
 def load_checkpoint(
@@ -53,20 +106,136 @@ def load_checkpoint(
     architecture and node count; mismatches fail loudly.
     """
     with np.load(path) as archive:
-        state = archive["state"]
-        if state.shape != engine.state.shape:
+        return _restore_engine(engine, archive)
+
+
+# --------------------------------------------------------------------------
+# Full mid-run snapshots (engine + rng streams + algorithm + history)
+# --------------------------------------------------------------------------
+
+_HISTORY_FIELDS = (
+    ("round", np.int64),
+    ("mean_accuracy", np.float64),
+    ("std_accuracy", np.float64),
+    ("consensus", np.float64),
+    ("cumulative_energy_wh", np.float64),
+    ("trained_nodes", np.int64),
+    ("is_training_round", np.bool_),
+    ("train_loss", np.float64),
+)
+
+
+def save_run_checkpoint(
+    engine: SimulationEngine,
+    algorithm: Algorithm,
+    history: RunHistory,
+    round_index: int,
+    path: str | os.PathLike,
+) -> None:
+    """Persist a complete mid-run snapshot after ``round_index``
+    completed rounds: engine state/meter, every rng stream the run
+    consumes, the algorithm's internal state, and the history so far.
+
+    Engines whose round-dependent state this snapshot *cannot* capture
+    are rejected up front rather than resumed divergently: momentum
+    (the serial velocity buffer lives in the shared workspace
+    optimizer), stochastic compressors (RandomK/Quantization hold
+    their own rng), and failure models (likewise). Deterministic
+    compressors are fine — their error-feedback public copies are
+    checkpointed.
+    """
+    if engine.config.momentum > 0.0:
+        raise ValueError(
+            "run checkpoints do not capture the shared momentum velocity "
+            "buffer; use momentum=0 for checkpointed runs"
+        )
+    if engine.failure_model is not None:
+        raise ValueError(
+            "run checkpoints do not capture failure-model rng state"
+        )
+    if getattr(engine.compressor, "rng", None) is not None:
+        raise ValueError(
+            "run checkpoints do not capture stochastic compressor rng "
+            "state; use a deterministic compressor"
+        )
+    payload = _engine_payload(engine, round_index)
+    payload["node_rng_json"] = np.array(
+        json.dumps([generator_state(node.loader.rng) for node in engine.nodes])
+    )
+    payload["node_steps_done"] = np.array(
+        [node.local_steps_done for node in engine.nodes], dtype=np.int64
+    )
+    payload["eval_rng_json"] = np.array(json.dumps(generator_state(engine.eval_rng)))
+    payload["algo_name"] = np.array(algorithm.name)
+    payload["algo_json"] = np.array(json.dumps(algorithm.state_dict()))
+    payload["history_algorithm"] = np.array(history.algorithm)
+    for field, dtype in _HISTORY_FIELDS:
+        payload[f"hist_{field}"] = np.array(
+            [getattr(r, field) for r in history.records], dtype=dtype
+        )
+    if engine._public is not None:
+        payload["public"] = engine._public
+    _atomic_savez(path, payload)
+
+
+def load_run_checkpoint(
+    engine: SimulationEngine,
+    algorithm: Algorithm,
+    path: str | os.PathLike,
+) -> tuple[int, RunHistory]:
+    """Restore a :func:`save_run_checkpoint` snapshot into ``engine``
+    and ``algorithm`` (both in place) and return ``(completed_rounds,
+    history_so_far)``. Resume with::
+
+        round_index, history = load_run_checkpoint(engine, algo, path)
+        engine.run(algo, start_round=round_index, history=history)
+
+    ``engine`` and ``algorithm`` must be freshly constructed exactly as
+    for the original run (same preset/seed wiring); name and shape
+    mismatches fail loudly.
+    """
+    with np.load(path) as archive:
+        if "node_rng_json" not in archive:
             raise ValueError(
-                f"checkpoint state shape {state.shape} does not match "
-                f"engine {engine.state.shape}"
+                "not a run checkpoint (engine-only checkpoints restore "
+                "via load_checkpoint)"
             )
-        engine.state[...] = state
-        round_index = int(archive["round_index"])
-        if engine.meter is not None:
-            if "train_wh" not in archive:
-                raise ValueError("checkpoint lacks energy-meter arrays")
-            meter: EnergyMeter = engine.meter
-            meter.train_wh[...] = archive["train_wh"]
-            meter.comm_wh[...] = archive["comm_wh"]
-            meter.train_rounds[...] = archive["train_rounds"]
-            meter._history_total = archive["history_total"].tolist()
-    return round_index
+        round_index = _restore_engine(engine, archive)
+        node_states = json.loads(str(archive["node_rng_json"]))
+        if len(node_states) != len(engine.nodes):
+            raise ValueError(
+                f"checkpoint has {len(node_states)} node rng streams, "
+                f"engine has {len(engine.nodes)} nodes"
+            )
+        steps_done = archive["node_steps_done"]
+        for node, rng_state, steps in zip(engine.nodes, node_states, steps_done):
+            node.loader.rng = restore_generator(rng_state)
+            node.local_steps_done = int(steps)
+        engine.eval_rng = restore_generator(json.loads(str(archive["eval_rng_json"])))
+        saved_name = str(archive["algo_name"])
+        if saved_name != algorithm.name:
+            raise ValueError(
+                f"checkpoint was taken with algorithm {saved_name!r}, "
+                f"got {algorithm.name!r}"
+            )
+        algorithm.load_state_dict(json.loads(str(archive["algo_json"])))
+        if "public" in archive:
+            engine._public = archive["public"]
+        records = [
+            RoundRecord(
+                round=int(rnd),
+                mean_accuracy=float(acc),
+                std_accuracy=float(std),
+                consensus=float(cons),
+                cumulative_energy_wh=float(wh),
+                trained_nodes=int(trained),
+                is_training_round=bool(is_train),
+                train_loss=float(loss),
+            )
+            for rnd, acc, std, cons, wh, trained, is_train, loss in zip(
+                *(archive[f"hist_{field}"] for field, _ in _HISTORY_FIELDS)
+            )
+        ]
+        history = RunHistory(algorithm=str(archive["history_algorithm"]),
+                             records=records)
+    return round_index, history

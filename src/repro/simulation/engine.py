@@ -287,18 +287,36 @@ class SimulationEngine:
 
     # -- public API -----------------------------------------------------------
 
-    def run(self, algorithm: Algorithm, start_round: int = 0) -> RunHistory:
+    def run(
+        self,
+        algorithm: Algorithm,
+        start_round: int = 0,
+        *,
+        history: RunHistory | None = None,
+        round_hook: "Callable[[SimulationEngine, int, RunHistory, int], None] | None" = None,
+    ) -> RunHistory:
         """Execute ``algorithm`` for rounds ``start_round+1 ..
         config.total_rounds``. Non-zero ``start_round`` resumes a run
         whose state was restored via
         :func:`repro.simulation.checkpoint.load_checkpoint` (stateless
-        algorithms resume exactly; stateful ones must be reconstructed
-        by the caller)."""
+        algorithms resume exactly; stateful ones restore via
+        :func:`~repro.simulation.checkpoint.load_run_checkpoint`).
+
+        ``history`` appends to an existing record list (a resumed run
+        continues the interrupted history); ``round_hook(engine, t,
+        history, last_eval)`` is called after every completed round —
+        the sweep orchestrator checkpoints from it. Resuming is exact
+        only from a round that was an evaluation point (``last_eval ==
+        t`` in the hook): ``run`` re-seeds its evaluation cadence from
+        ``start_round``, so a checkpoint taken between evaluations
+        would shift later evaluation rounds.
+        """
         if algorithm.n_nodes != self.n_nodes:
             raise ValueError("algorithm node count mismatch")
         if not 0 <= start_round <= self.config.total_rounds:
             raise ValueError("start_round out of range")
-        history = RunHistory(algorithm=algorithm.name)
+        if history is None:
+            history = RunHistory(algorithm=algorithm.name)
         cfg = self.config
         last_eval = start_round
         for t in range(start_round + 1, cfg.total_rounds + 1):
@@ -322,6 +340,8 @@ class SimulationEngine:
                     self._evaluate(t, mask, bool(mask.any()), train_loss)
                 )
                 last_eval = t
+            if round_hook is not None:
+                round_hook(self, t, history, last_eval)
         return history
 
     def _should_eval(self, algorithm: Algorithm, t: int, last_eval: int) -> bool:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RngFactory"]
+__all__ = ["RngFactory", "generator_state", "restore_generator"]
 
 
 class RngFactory:
@@ -42,6 +42,39 @@ class RngFactory:
             self.seed, spawn_key=(_label_key(label), node_id)
         )
         return np.random.Generator(np.random.Philox(ss))
+
+
+def generator_state(gen: np.random.Generator) -> dict:
+    """JSON-serializable snapshot of a generator's bit-stream position.
+
+    Checkpoint/resume needs mid-run RNG streams to continue exactly
+    where they stopped; ``bit_generator.state`` captures that but holds
+    NumPy arrays/scalars, so this deep-converts to plain Python types.
+    """
+
+    def convert(value: object) -> object:
+        if isinstance(value, dict):
+            return {k: convert(v) for k, v in value.items()}
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, np.integer):
+            return int(value)
+        return value
+
+    return convert(gen.bit_generator.state)  # type: ignore[return-value]
+
+
+def restore_generator(state: dict) -> np.random.Generator:
+    """Rebuild a generator from a :func:`generator_state` snapshot.
+
+    The snapshot names its own bit-generator class, so any NumPy bit
+    generator round-trips (the factory uses Philox)."""
+    name = state.get("bit_generator")
+    if not isinstance(name, str) or not hasattr(np.random, name):
+        raise ValueError(f"unknown bit generator {name!r} in rng state")
+    bit_gen = getattr(np.random, name)()
+    bit_gen.state = state
+    return np.random.Generator(bit_gen)
 
 
 def _label_key(label: str) -> int:

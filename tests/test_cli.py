@@ -70,3 +70,87 @@ class TestCommands:
         args = parser.parse_args(["sweep", "--seeds", "1", "2"])
         assert args.seeds == [1, 2]
         assert parser.parse_args(["convergence"]).command == "convergence"
+
+    def test_sweep_orchestration_flags_parse(self):
+        args = build_parser().parse_args([
+            "sweep", "--shard", "2/4", "--results-dir", "out",
+            "--checkpoint-every", "32", "--degrees", "3", "4",
+            "--rounds", "16", "--vectorized", "--dry-run",
+        ])
+        assert args.shard == "2/4"
+        assert args.results_dir == "out"
+        assert args.checkpoint_every == 32
+        assert args.degrees == [3, 4]
+        assert args.vectorized and args.dry_run
+
+    def test_aggregate_parses(self):
+        args = build_parser().parse_args(["aggregate", "--results-dir", "r"])
+        assert args.command == "aggregate" and args.results_dir == "r"
+
+    def test_from_artifacts_flag_parses(self):
+        args = build_parser().parse_args(["table", "3", "--from-artifacts", "r"])
+        assert args.from_artifacts == "r"
+        args = build_parser().parse_args(["figure", "1", "--from-artifacts", "r"])
+        assert args.from_artifacts == "r"
+
+
+class TestArtifactPipeline:
+    """End-to-end T1→T2→T3 through the CLI on a seconds-fast preset."""
+
+    @pytest.fixture
+    def micro(self, tiny_preset, monkeypatch):
+        import dataclasses
+
+        from repro.experiments.presets import PRESETS
+
+        preset = dataclasses.replace(tiny_preset, name="micro-cli",
+                                     total_rounds=12, eval_every=2)
+        monkeypatch.setitem(PRESETS, "micro-cli", lambda: preset)
+        return preset
+
+    def test_sweep_aggregate_render(self, micro, tmp_path, capsys):
+        res = str(tmp_path / "results")
+        argv = ["sweep", "--preset", "micro-cli",
+                "--algorithms", "skiptrain", "d-psgd",
+                "--seeds", "0", "--results-dir", res,
+                "--checkpoint-every", "4"]
+        assert main(argv) == 0
+        assert "ran 2" in capsys.readouterr().out
+
+        assert main(argv) == 0  # resumable: everything already done
+        assert "skipped 2" in capsys.readouterr().out
+
+        assert main(["aggregate", "--results-dir", res]) == 0
+        out = capsys.readouterr().out
+        assert "skiptrain" in out and "summary.csv" in out
+        assert (tmp_path / "results" / "summary.csv").is_file()
+
+        assert main(["table", "3", "--preset", "micro-cli",
+                     "--from-artifacts", res]) == 0
+        assert "from artifacts" in capsys.readouterr().out
+
+    def test_sweep_dry_run(self, micro, tmp_path, capsys):
+        res = str(tmp_path / "results")
+        assert main(["sweep", "--preset", "micro-cli", "--seeds", "0",
+                     "--results-dir", res, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "[pending]" in out and "2 of 2 cells" in out
+
+    def test_bad_shard_spec(self, capsys):
+        assert main(["sweep", "--shard", "9/4", "--dry-run"]) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_from_artifacts_wrong_targets(self, capsys):
+        assert main(["table", "1", "--from-artifacts", "x"]) == 2
+        assert "static" in capsys.readouterr().err
+        assert main(["figure", "4", "--from-artifacts", "x"]) == 2
+        assert "figure 1" in capsys.readouterr().err
+
+    def test_missing_artifacts_reported(self, tmp_path, capsys):
+        empty = str(tmp_path)
+        assert main(["table", "3", "--from-artifacts", empty]) == 1
+        assert "repro sweep" in capsys.readouterr().err
+        assert main(["figure", "1", "--from-artifacts", empty]) == 1
+        assert "repro sweep" in capsys.readouterr().err
+        assert main(["aggregate", "--results-dir", empty]) == 1
+        assert "no raw artifacts" in capsys.readouterr().err

@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import DPSGD
+from repro.core.schedule import RoundSchedule
+from repro.core.skiptrain import SkipTrainConstrained
 from repro.data import make_classification_images, shard_partition
 from repro.data.synthetic import SyntheticSpec
 from repro.energy import CIFAR10_WORKLOAD, EnergyMeter, build_trace
@@ -13,8 +15,12 @@ from repro.simulation import (
     RngFactory,
     SimulationEngine,
     build_nodes,
+    generator_state,
     load_checkpoint,
+    load_run_checkpoint,
+    restore_generator,
     save_checkpoint,
+    save_run_checkpoint,
 )
 from repro.topology import metropolis_hastings_weights, regular_graph
 
@@ -103,3 +109,167 @@ class TestCheckpoint:
         eng = make_engine(total_rounds=8)
         with pytest.raises(ValueError):
             eng.run(DPSGD(N), start_round=9)
+
+
+class TestMeterStateDict:
+    def test_roundtrip(self):
+        eng = make_engine()
+        eng.run(DPSGD(N))
+        snapshot = eng.meter.state_dict()
+        fresh = EnergyMeter(build_trace(N, CIFAR10_WORKLOAD, 0.1))
+        fresh.load_state_dict(snapshot)
+        np.testing.assert_array_equal(fresh.train_wh, eng.meter.train_wh)
+        np.testing.assert_array_equal(fresh.comm_wh, eng.meter.comm_wh)
+        np.testing.assert_array_equal(fresh.train_rounds,
+                                      eng.meter.train_rounds)
+        np.testing.assert_array_equal(fresh.cumulative_total_wh(),
+                                      eng.meter.cumulative_total_wh())
+
+    def test_snapshot_is_a_copy(self):
+        eng = make_engine()
+        snapshot = eng.meter.state_dict()
+        snapshot["train_wh"][:] = 99.0
+        assert eng.meter.total_train_wh == 0.0
+
+    def test_shape_and_key_validation(self):
+        meter = EnergyMeter(build_trace(N, CIFAR10_WORKLOAD, 0.1))
+        with pytest.raises(ValueError, match="lacks"):
+            meter.load_state_dict({"train_wh": np.zeros(N)})
+        bad = meter.state_dict()
+        bad["comm_wh"] = np.zeros(N + 1)
+        with pytest.raises(ValueError, match="shape"):
+            meter.load_state_dict(bad)
+
+
+class TestGeneratorState:
+    def test_roundtrip_continues_stream(self):
+        gen = RngFactory(7).stream("x")
+        gen.random(13)
+        clone = restore_generator(generator_state(gen))
+        np.testing.assert_array_equal(gen.random(50), clone.random(50))
+
+    def test_state_is_json_safe(self):
+        import json
+
+        gen = RngFactory(7).node_stream("batch", 3)
+        gen.random(5)
+        json.dumps(generator_state(gen))  # no numpy scalars/arrays left
+
+    def test_unknown_bit_generator_rejected(self):
+        with pytest.raises(ValueError, match="bit generator"):
+            restore_generator({"bit_generator": "NotAThing"})
+
+
+def assert_histories_equal(a, b):
+    """Exact record equality, treating NaN train losses as equal
+    (dataclass ``==`` is false for NaN fields)."""
+    import dataclasses as dc
+    import math
+
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records):
+        for f in dc.fields(ra):
+            va, vb = getattr(ra, f.name), getattr(rb, f.name)
+            if isinstance(va, float) and math.isnan(va):
+                assert isinstance(vb, float) and math.isnan(vb)
+            else:
+                assert va == vb, f.name
+
+
+def make_constrained(total_rounds=16, seed=0):
+    rngs = RngFactory(seed)
+    budgets = np.array([2, 3, 1, 4, 2, 3, 1, 2])
+    return SkipTrainConstrained(
+        N, RoundSchedule(2, 2), budgets=budgets, total_rounds=total_rounds,
+        rng=rngs.stream("participation"),
+    )
+
+
+class TestRunCheckpoint:
+    """The full mid-run snapshot: a *fresh* engine + algorithm (as after
+    a process kill) restored from disk must continue bit-for-bit."""
+
+    def test_cross_process_resume_is_bit_exact(self, tmp_path):
+        straight = make_engine(seed=5, total_rounds=16)
+        algo = make_constrained()
+        h_straight = straight.run(algo)
+
+        # the doomed process: checkpoint at round 7 (the (2,2)
+        # schedule's first eval round under eval_every=4), die at 10.
+        doomed = make_engine(seed=5, total_rounds=16)
+        doomed_algo = make_constrained()
+        path = tmp_path / "run.npz"
+
+        class Die(Exception):
+            pass
+
+        def hook(engine, t, history, last_eval):
+            if t == 7:
+                assert last_eval == t  # only eval rounds resume exactly
+                save_run_checkpoint(engine, doomed_algo, history, t, path)
+            if t == 10:
+                raise Die
+
+        with pytest.raises(Die):
+            doomed.run(doomed_algo, round_hook=hook)
+
+        # the restarted process: everything rebuilt from scratch.
+        fresh = make_engine(seed=5, total_rounds=16)
+        fresh_algo = make_constrained()
+        start, history = load_run_checkpoint(fresh, fresh_algo, path)
+        assert start == 7
+        h_resumed = fresh.run(fresh_algo, start_round=start, history=history)
+
+        np.testing.assert_array_equal(fresh.state, straight.state)
+        assert_histories_equal(h_resumed, h_straight)
+        np.testing.assert_array_equal(fresh.meter.train_wh,
+                                      straight.meter.train_wh)
+        np.testing.assert_array_equal(fresh.meter.cumulative_total_wh(),
+                                      straight.meter.cumulative_total_wh())
+
+    def test_rejects_engine_only_checkpoint(self, tmp_path):
+        eng = make_engine()
+        path = tmp_path / "plain.npz"
+        save_checkpoint(eng, 4, path)
+        with pytest.raises(ValueError, match="not a run checkpoint"):
+            load_run_checkpoint(make_engine(), DPSGD(N), path)
+
+    def test_rejects_algorithm_mismatch(self, tmp_path):
+        eng = make_engine()
+        algo = make_constrained()
+        history = eng.run(algo)
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(eng, algo, history, 16, path)
+        with pytest.raises(ValueError, match="algorithm"):
+            load_run_checkpoint(make_engine(), DPSGD(N), path)
+
+    def test_rejects_uncapturable_engine_state(self, tmp_path):
+        """Momentum velocity lives in the shared workspace optimizer
+        and is not snapshotted — saving must fail fast, not resume
+        divergently."""
+        eng = make_engine()
+        eng.config = EngineConfig(local_steps=2, learning_rate=0.2,
+                                  total_rounds=16, eval_every=4,
+                                  momentum=0.5)
+        algo = DPSGD(N)
+        from repro.simulation.metrics import RunHistory
+
+        with pytest.raises(ValueError, match="momentum"):
+            save_run_checkpoint(eng, algo, RunHistory(algorithm=algo.name),
+                                4, tmp_path / "x.npz")
+
+    def test_stateless_algorithm_rejects_foreign_state(self):
+        with pytest.raises(ValueError, match="no checkpointable state"):
+            DPSGD(N).load_state_dict({"remaining": [1]})
+
+    def test_budget_algorithms_state_roundtrip(self):
+        algo = make_constrained()
+        for t in range(1, 9):
+            algo.train_mask(t)
+        clone = make_constrained()
+        clone.load_state_dict(algo.state_dict())
+        np.testing.assert_array_equal(clone.state.remaining,
+                                      algo.state.remaining)
+        for t in range(9, 17):
+            np.testing.assert_array_equal(clone.train_mask(t),
+                                          algo.train_mask(t))

@@ -1,0 +1,264 @@
+"""Sweep orchestrator tests: plan/sharding invariants, artifact
+skip-on-rerun, crash/resume (between cells and mid-cell), and
+aggregation determinism — the acceptance contract is that sharded,
+interrupted, and uninterrupted executions of one plan produce
+byte-identical raw artifacts and CSVs."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import (
+    aggregate_results,
+    artifact_path,
+    build_plan,
+    parse_shard,
+    run_cell,
+    run_sweep,
+    shard_cells,
+    sweep_result_from_artifacts,
+    write_summary_csv,
+)
+from repro.experiments.artifacts import (
+    checkpoint_path,
+    load_cell_artifact,
+    resolve_cell,
+)
+
+
+@pytest.fixture
+def micro_preset(tiny_preset):
+    """The tiny preset tightened for orchestration tests: 12 rounds,
+    eval every 2 (so checkpoints land early), sampled evaluation (so
+    the eval rng stream is exercised by resume), and budgets that keep
+    the constrained/greedy algorithms partially active."""
+    return dataclasses.replace(
+        tiny_preset,
+        name="micro",
+        total_rounds=12,
+        eval_every=2,
+        eval_node_sample=4,
+        battery_fraction=0.1,
+    )
+
+
+def lookup_for(preset):
+    def lookup(name):
+        assert name == preset.name
+        return preset
+
+    return lookup
+
+
+class TestPlanAndSharding:
+    def test_plan_is_deterministic_and_complete(self, micro_preset):
+        plan = build_plan(micro_preset, ("skiptrain", "d-psgd"),
+                          degrees=(3,), seeds=(0, 1, 2))
+        assert plan == build_plan(micro_preset, ("skiptrain", "d-psgd"),
+                                  degrees=(3,), seeds=(0, 1, 2))
+        assert len(plan) == 6
+        assert len({c.cell_id for c in plan}) == 6
+        assert all(c.total_rounds == micro_preset.total_rounds for c in plan)
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5])
+    def test_shard_union_equals_plan_and_disjoint(self, micro_preset, count):
+        plan = build_plan(micro_preset, ("skiptrain", "d-psgd", "greedy"),
+                          degrees=(3,), seeds=(0, 1))
+        shards = [shard_cells(plan, i, count) for i in range(1, count + 1)]
+        union = [c for s in shards for c in s]
+        assert sorted(union) == sorted(plan)
+        assert len(union) == len(plan)  # disjoint
+
+    def test_parse_shard(self):
+        assert parse_shard("2/4") == (2, 4)
+        for bad in ("0/4", "5/4", "1", "a/b", "1/0"):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_empty_plan_inputs_rejected(self, micro_preset):
+        with pytest.raises(ValueError):
+            build_plan(micro_preset, (), seeds=(0,))
+        with pytest.raises(ValueError):
+            build_plan(micro_preset, ("skiptrain",), seeds=())
+        with pytest.raises(ValueError):
+            build_plan(micro_preset, ("skiptrain",), seeds=(0,),
+                       total_rounds=0)
+
+
+class TestSweepExecution:
+    def test_rerun_skips_completed_cells(self, micro_preset, tmp_path):
+        plan = build_plan(micro_preset, ("skiptrain",), seeds=(0, 1))
+        stats = run_sweep(plan, tmp_path,
+                          preset_lookup=lookup_for(micro_preset))
+        assert len(stats.ran) == 2 and not stats.skipped
+        again = run_sweep(plan, tmp_path,
+                          preset_lookup=lookup_for(micro_preset))
+        assert not again.ran and len(again.skipped) == 2
+
+    def test_sharded_union_byte_identical_to_unsharded(
+        self, micro_preset, tmp_path
+    ):
+        plan = build_plan(micro_preset, ("skiptrain", "d-psgd"),
+                          seeds=(0, 1))
+        solo, split = tmp_path / "solo", tmp_path / "split"
+        run_sweep(plan, solo, preset_lookup=lookup_for(micro_preset))
+        run_sweep(plan, split, shard=(1, 2),
+                  preset_lookup=lookup_for(micro_preset))
+        run_sweep(plan, split, shard=(2, 2),
+                  preset_lookup=lookup_for(micro_preset))
+        for cell in plan:
+            assert (artifact_path(solo, cell).read_bytes()
+                    == artifact_path(split, cell).read_bytes())
+        csv_solo = write_summary_csv(aggregate_results(solo)[0],
+                                     solo / "summary.csv")
+        csv_split = write_summary_csv(aggregate_results(split)[0],
+                                      split / "summary.csv")
+        assert csv_solo.read_bytes() == csv_split.read_bytes()
+
+    def test_interrupt_between_cells_then_rerun_identical(
+        self, micro_preset, tmp_path
+    ):
+        plan = build_plan(micro_preset, ("skiptrain", "d-psgd"),
+                          seeds=(0, 1))
+        ref, broken = tmp_path / "ref", tmp_path / "broken"
+        run_sweep(plan, ref, preset_lookup=lookup_for(micro_preset))
+        # crash after two cells: only the first half of the plan ran
+        run_sweep(plan[:2], broken, preset_lookup=lookup_for(micro_preset))
+        resumed = run_sweep(plan, broken,
+                            preset_lookup=lookup_for(micro_preset))
+        assert len(resumed.skipped) == 2 and len(resumed.ran) == 2
+        csv_ref = write_summary_csv(aggregate_results(ref)[0],
+                                    ref / "summary.csv")
+        csv_broken = write_summary_csv(aggregate_results(broken)[0],
+                                       broken / "summary.csv")
+        assert csv_ref.read_bytes() == csv_broken.read_bytes()
+
+    @pytest.mark.parametrize(
+        "algorithm", ["skiptrain-constrained", "greedy", "d-psgd"]
+    )
+    def test_mid_cell_kill_resumes_bit_identical(
+        self, micro_preset, tmp_path, algorithm
+    ):
+        """Kill a cell partway (after a checkpoint), rerun, and the
+        final artifact must equal an uninterrupted run's byte for byte
+        — engine state, every rng stream, algorithm state (rng +
+        budgets), and the partial history all survive the restart."""
+        cell = build_plan(micro_preset, (algorithm,), seeds=(0,))[0]
+        ref, killed = tmp_path / "ref", tmp_path / "killed"
+        run_cell(micro_preset, cell, ref, checkpoint_every=2)
+        assert not checkpoint_path(ref, cell).exists()  # cleaned up
+
+        class Kill(Exception):
+            pass
+
+        def killer(engine, t, history, last_eval):
+            if t == 9:
+                raise Kill
+
+        with pytest.raises(Kill):
+            run_cell(micro_preset, cell, killed, checkpoint_every=2,
+                     round_hook=killer)
+        assert checkpoint_path(killed, cell).is_file()
+        assert not artifact_path(killed, cell).exists()
+
+        _, resumed = run_cell(micro_preset, cell, killed,
+                              checkpoint_every=2)
+        assert resumed
+        assert not checkpoint_path(killed, cell).exists()
+        assert (artifact_path(killed, cell).read_bytes()
+                == artifact_path(ref, cell).read_bytes())
+
+    def test_vectorized_cell_results_match_serial(
+        self, micro_preset, tmp_path
+    ):
+        cell = build_plan(micro_preset, ("skiptrain",), seeds=(0,))[0]
+        serial, vector = tmp_path / "serial", tmp_path / "vector"
+        run_cell(micro_preset, cell, serial, vectorized=False)
+        run_cell(micro_preset, cell, vector, vectorized=True)
+        a = load_cell_artifact(artifact_path(serial, cell))
+        b = load_cell_artifact(artifact_path(vector, cell))
+        assert a["engine"] == {"vectorized": False}
+        assert b["engine"] == {"vectorized": True}
+        a.pop("engine"), b.pop("engine")
+        assert a == b  # bit-compatibility: every result field identical
+
+    def test_cell_preset_mismatch_rejected(self, micro_preset, tmp_path):
+        cell = build_plan(micro_preset, ("skiptrain",), seeds=(0,))[0]
+        other = dataclasses.replace(micro_preset, name="other")
+        with pytest.raises(ValueError, match="belongs to preset"):
+            run_cell(other, cell, tmp_path)
+
+
+class TestArtifactsAndAggregation:
+    @pytest.fixture
+    def filled(self, micro_preset, tmp_path):
+        plan = build_plan(micro_preset, ("skiptrain", "d-psgd"),
+                          seeds=(0, 1))
+        run_sweep(plan, tmp_path, preset_lookup=lookup_for(micro_preset))
+        return plan, tmp_path
+
+    def test_artifact_is_self_describing(self, filled):
+        plan, results_dir = filled
+        payload = load_cell_artifact(artifact_path(results_dir, plan[0]))
+        assert payload["schema"] == "repro/cell-artifact/v1"
+        assert payload["cell"] == {
+            "preset": "micro", "algorithm": plan[0].algorithm,
+            "degree": 3, "seed": 0, "total_rounds": 12,
+        }
+        assert 0.0 <= payload["results"]["final_accuracy"] <= 1.0
+        assert payload["history"]["records"]
+        # strict JSON: NaN train losses are encoded as null
+        json.dumps(payload, allow_nan=False)
+
+    def test_aggregate_rows_and_gap_report(self, filled):
+        plan, results_dir = filled
+        rows, gaps = aggregate_results(results_dir)
+        assert [(r.algorithm, r.seeds) for r in rows] == [
+            ("d-psgd", (0, 1)), ("skiptrain", (0, 1)),
+        ]
+        assert not gaps
+        # drop one seed of one algorithm: aggregation stays usable and
+        # the gap is reported instead of hidden
+        artifact_path(results_dir, plan[0]).unlink()
+        rows, gaps = aggregate_results(results_dir)
+        short = [r for r in rows if r.algorithm == plan[0].algorithm][0]
+        assert short.n_seeds == 1
+        assert list(gaps.values()) == [[plan[0].seed]]
+
+    def test_sweep_result_from_artifacts(self, filled):
+        _, results_dir = filled
+        result = sweep_result_from_artifacts(results_dir, "micro", 3)
+        assert set(result.cells) == {"skiptrain", "d-psgd"}
+        assert result.cells["skiptrain"].n_seeds == 2
+        assert "Seed sweep" in result.render()
+        with pytest.raises(FileNotFoundError):
+            sweep_result_from_artifacts(results_dir, "nope", 3)
+
+    def test_resolve_cell_discovers_rounds(self, filled, micro_preset):
+        plan, results_dir = filled
+        cell = resolve_cell(results_dir, "micro", "skiptrain", 3, 0)
+        assert cell == plan[0]
+        with pytest.raises(FileNotFoundError):
+            resolve_cell(results_dir, "micro", "greedy", 3, 0)
+        # a second rounds value for the same coordinate is ambiguous
+        other = dataclasses.replace(plan[0], total_rounds=6)
+        run_cell(micro_preset, other, results_dir)
+        with pytest.raises(ValueError, match="ambiguous"):
+            resolve_cell(results_dir, "micro", "skiptrain", 3, 0)
+
+    def test_mixed_rounds_aggregation_fails_loudly(
+        self, filled, micro_preset
+    ):
+        """A smoke sweep next to the full one must not silently enter
+        the same mean twice or compare algorithms at different round
+        counts — the artifact readers demand an explicit rounds."""
+        plan, results_dir = filled
+        run_cell(micro_preset,
+                 dataclasses.replace(plan[0], total_rounds=6), results_dir)
+        with pytest.raises(ValueError, match="mix total_rounds"):
+            sweep_result_from_artifacts(results_dir, "micro", 3)
+        # explicit rounds disambiguates
+        result = sweep_result_from_artifacts(results_dir, "micro", 3,
+                                             total_rounds=12)
+        assert result.cells["skiptrain"].n_seeds == 2
