@@ -11,11 +11,12 @@ Usage examples::
 
 The artifact pipeline (T1 run → T2 aggregate → T3 render)::
 
-    # T1: execute the plan (shardable across machines; resumable — a
-    # rerun skips finished cells and continues killed ones mid-cell)
+    # T1: execute the plan (shardable across machines, parallel within
+    # a machine via --jobs; resumable — a rerun skips finished cells
+    # and continues killed ones mid-cell)
     python -m repro sweep --preset cifar10-bench \\
         --algorithms skiptrain d-psgd --degrees 3 4 6 --seeds 0 1 2 \\
-        --results-dir results --shard 1/2 --checkpoint-every 32
+        --results-dir results --shard 1/2 --checkpoint-every 32 --jobs 4
     python -m repro sweep ... --shard 2/2    # on another machine
 
     # T2: fold results/raw/*.json into results/summary.csv
@@ -117,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--vectorized", action="store_true",
                          help="run cells on the batched multi-node engine "
                               "(bit-compatible with serial)")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="run this shard's cells in N parallel worker "
+                              "processes (artifacts byte-identical to "
+                              "--jobs 1; composes with --shard and "
+                              "--checkpoint-every)")
     p_sweep.add_argument("--dry-run", action="store_true",
                          help="print the shard's cells and their status "
                               "without running anything")
@@ -315,12 +321,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"{cell.cell_id}  [{status}]")
         print(f"\nshard {args.shard}: {len(selected)} of {len(plan)} cells")
         return 0
+    if args.jobs <= 0:
+        print("error: --jobs must be positive", file=sys.stderr)
+        return 2
     stats = run_sweep(
         plan,
         args.results_dir,
         shard=shard,
         checkpoint_every=args.checkpoint_every,
         vectorized=args.vectorized,
+        jobs=args.jobs,
         log=print,
     )
     print(f"shard {args.shard}: ran {len(stats.ran)} "

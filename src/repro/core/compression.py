@@ -42,6 +42,28 @@ class Compressor:
         """
         raise NotImplementedError
 
+    def compress_block(self, block: np.ndarray) -> tuple[np.ndarray, int]:
+        """Compress every row of an ``(n, dim)`` block; returns
+        ``(transport_block, total_payload_bytes)``.
+
+        The contract is exactness: row ``i`` of the result must be
+        bit-identical to ``compress(block[i])`` called in ascending row
+        order. This default loops rows — correct for every compressor,
+        including rng-backed ones whose stream must be consumed in node
+        order. Deterministic compressors override it with row-wise array
+        ops (the engine's CHOCO aggregation calls this once per round
+        instead of once per node).
+        """
+        block = np.asarray(block)
+        if block.ndim != 2:
+            raise ValueError(f"expected an (n, dim) block, got {block.shape}")
+        out = np.empty_like(block)
+        total = 0
+        for i in range(block.shape[0]):
+            out[i], nbytes = self.compress(block[i])
+            total += nbytes
+        return out, total
+
     def ratio(self, dim: int) -> float:
         """Payload bytes relative to the uncompressed float64 vector."""
         probe = np.zeros(dim)
@@ -56,6 +78,12 @@ class IdentityCompressor(Compressor):
 
     def compress(self, vec: np.ndarray) -> tuple[np.ndarray, int]:
         return vec, vec.size * 8
+
+    def compress_block(self, block: np.ndarray) -> tuple[np.ndarray, int]:
+        block = np.asarray(block)
+        if block.ndim != 2:
+            raise ValueError(f"expected an (n, dim) block, got {block.shape}")
+        return block, block.size * 8
 
 
 class TopKCompressor(Compressor):
@@ -79,6 +107,24 @@ class TopKCompressor(Compressor):
         idx = np.argpartition(np.abs(vec), -k)[-k:]
         out[idx] = vec[idx]
         return out, k * 12
+
+    def compress_block(self, block: np.ndarray) -> tuple[np.ndarray, int]:
+        """Row-wise top-k in one pass: ``argpartition`` along the last
+        axis runs the same introselect per row as the 1-D call, so each
+        row is bit-identical to :meth:`compress` on that row (the
+        engine's exactness contract)."""
+        block = np.asarray(block)
+        if block.ndim != 2:
+            raise ValueError(f"expected an (n, dim) block, got {block.shape}")
+        n, dim = block.shape
+        k = max(1, int(round(self.fraction * dim)))
+        if k >= dim:
+            return block, n * dim * 8
+        out = np.zeros_like(block)
+        idx = np.argpartition(np.abs(block), -k, axis=1)[:, -k:]
+        rows = np.arange(n)[:, None]
+        out[rows, idx] = block[rows, idx]
+        return out, n * k * 12
 
     def ratio(self, dim: int) -> float:
         k = max(1, int(round(self.fraction * dim)))

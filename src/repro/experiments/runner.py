@@ -176,13 +176,17 @@ def build_run(
     eval_every: int | None = None,
     eval_on: str = "test",
     vectorized: bool = False,
+    eval_mode: str = "auto",
 ) -> tuple[SimulationEngine, Algorithm]:
     """Wire the (engine, algorithm) pair for one cell without running.
 
     Construction is deterministic in ``prepared`` and the overrides:
     two calls yield engines whose runs are bit-identical. The sweep
     orchestrator relies on this to rebuild a killed cell's engine and
-    restore a mid-run checkpoint into it.
+    restore a mid-run checkpoint into it. ``eval_mode`` selects the
+    evaluation implementation (``"auto"`` follows ``vectorized``; both
+    paths return bit-identical accuracies, so artifacts never depend on
+    the choice).
     """
     if eval_on not in ("test", "validation"):
         raise ValueError('eval_on must be "test" or "validation"')
@@ -196,6 +200,7 @@ def build_run(
         eval_every=eval_every if eval_every is not None else preset.eval_every,
         eval_node_sample=preset.eval_node_sample,
         vectorized=vectorized,
+        eval_mode=eval_mode,
     )
     model = preset.model_factory(rngs.stream("model"))
     nodes = build_nodes(
@@ -226,6 +231,7 @@ def run_algorithm(
     eval_every: int | None = None,
     eval_on: str = "test",
     vectorized: bool = False,
+    eval_mode: str = "auto",
 ) -> ExperimentResult:
     """Run one algorithm on a prepared experiment cell.
 
@@ -235,7 +241,7 @@ def run_algorithm(
     result experiments, ``"validation"`` for hyperparameter tuning
     (the paper's grid search uses the validation set, §4.2–4.3).
     ``vectorized`` runs local training on the batched multi-node
-    engine.
+    engine; ``eval_mode`` selects the (bit-identical) evaluation path.
     """
     engine, algo = build_run(
         prepared,
@@ -245,6 +251,7 @@ def run_algorithm(
         eval_every=eval_every,
         eval_on=eval_on,
         vectorized=vectorized,
+        eval_mode=eval_mode,
     )
     history = engine.run(algo)
     assert engine.meter is not None

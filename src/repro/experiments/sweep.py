@@ -14,13 +14,16 @@ mean curves with std bands (Fig. 4). Two execution styles live here:
   whose artifact already exists, and checkpoint long cells every
   ``checkpoint_every`` rounds via
   :func:`~repro.simulation.checkpoint.save_run_checkpoint` so a killed
-  3000-round run resumes mid-cell instead of from round 0. Aggregation
-  to CSV is a separate step (``repro aggregate``), tolerant of partial
-  sweeps.
+  3000-round run resumes mid-cell instead of from round 0. With
+  ``jobs=N`` the shard's cells additionally fan out to an in-process
+  fork pool (cells are independent; the artifact set stays
+  byte-identical to a serial run). Aggregation to CSV is a separate
+  step (``repro aggregate``), tolerant of partial sweeps.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
 from dataclasses import dataclass, field
 from typing import Callable
@@ -235,6 +238,37 @@ def run_cell(
     return result, resumed
 
 
+# Worker context for ``run_sweep(jobs=N)``. The pool uses the fork
+# start method and workers only receive group *indices*, so presets,
+# model factories, preset_lookup closures and round hooks never need to
+# be picklable — the forked child inherits this module global.
+_JOB_CTX: dict | None = None
+
+
+def _run_cell_group(group_index: int) -> list[tuple[PlanCell, bool]]:
+    """Execute one (preset, degree, seed) group of cells in a pool
+    worker; returns ``(cell, resumed_from_checkpoint)`` pairs."""
+    ctx = _JOB_CTX
+    assert ctx is not None, "job worker forked without context"
+    out: list[tuple[PlanCell, bool]] = []
+    prepared = None
+    for cell in ctx["groups"][group_index]:
+        preset = ctx["preset_lookup"](cell.preset)
+        if prepared is None:  # one shared preparation per group
+            prepared = prepare(preset, cell.degree, seed=cell.seed)
+        _, resumed = run_cell(
+            preset,
+            cell,
+            ctx["results_dir"],
+            prepared=prepared,
+            checkpoint_every=ctx["checkpoint_every"],
+            vectorized=ctx["vectorized"],
+            round_hook=ctx["round_hook"],
+        )
+        out.append((cell, resumed))
+    return out
+
+
 def run_sweep(
     cells: tuple[PlanCell, ...],
     results_dir: str | os.PathLike,
@@ -242,6 +276,7 @@ def run_sweep(
     shard: tuple[int, int] = (1, 1),
     checkpoint_every: int = 0,
     vectorized: bool = False,
+    jobs: int = 1,
     preset_lookup: Callable[[str], ExperimentPreset] = get_preset,
     log: Callable[[str], None] | None = None,
     round_hook: Callable | None = None,
@@ -256,7 +291,28 @@ def run_sweep(
     coordinate before execution so the cache also hits under
     round-robin sharding (execution order within a shard is free —
     artifacts are per-cell and deterministic).
+
+    ``jobs > 1`` fans the shard's pending cells out to a fork-based
+    process pool, one task per (preset, degree, seed) group so the
+    preparation cache still hits inside each worker. Cells are
+    independent and every artifact is deterministic, so the resulting
+    artifact directory is byte-identical to a ``jobs=1`` run — only
+    wall-clock and completion order change. Composes with sharding,
+    skip-on-existing-artifact and mid-cell checkpointing unchanged
+    (each cell owns its private checkpoint file). ``round_hook`` runs
+    inside the worker processes when ``jobs > 1``. The pool requires
+    the ``fork`` start method (Linux; presets and hooks need not be
+    picklable) — elsewhere, run ``jobs=1`` per shard and split work
+    with ``shard`` instead.
     """
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    if jobs > 1 and "fork" not in mp.get_all_start_methods():
+        raise ValueError(
+            "jobs > 1 requires the fork start method (unavailable on "
+            "this platform); use jobs=1 and split work across machines "
+            "with shard=I/N instead"
+        )
     index, count = shard
     selected = sorted(
         shard_cells(cells, index, count),
@@ -264,6 +320,12 @@ def run_sweep(
     )
     stats = SweepRunStats()
     say = log if log is not None else (lambda msg: None)
+    if jobs > 1:
+        return _run_sweep_jobs(
+            selected, results_dir, stats, say,
+            checkpoint_every=checkpoint_every, vectorized=vectorized,
+            jobs=jobs, preset_lookup=preset_lookup, round_hook=round_hook,
+        )
     prep_key, prep_val = None, None
     for pos, cell in enumerate(selected, 1):
         if artifact_path(results_dir, cell).is_file():
@@ -288,6 +350,63 @@ def run_sweep(
         if resumed:
             stats.resumed.append(cell)
             say(f"    resumed {cell.cell_id} from mid-cell checkpoint")
+    return stats
+
+
+def _run_sweep_jobs(
+    selected: list[PlanCell],
+    results_dir: str | os.PathLike,
+    stats: SweepRunStats,
+    say: Callable[[str], None],
+    *,
+    checkpoint_every: int,
+    vectorized: bool,
+    jobs: int,
+    preset_lookup: Callable[[str], ExperimentPreset],
+    round_hook: Callable | None,
+) -> SweepRunStats:
+    """The ``jobs > 1`` execution path: pending cells grouped by
+    preparation coordinate, one pool task per group."""
+    global _JOB_CTX
+    pending: list[PlanCell] = []
+    for cell in selected:
+        if artifact_path(results_dir, cell).is_file():
+            stats.skipped.append(cell)
+            say(f"skip {cell.cell_id} (artifact exists)")
+        else:
+            pending.append(cell)
+    if not pending:
+        return stats
+    groups: dict[tuple, list[PlanCell]] = {}
+    for cell in pending:
+        groups.setdefault((cell.preset, cell.degree, cell.seed), []).append(cell)
+    group_list = [groups[key] for key in sorted(groups)]
+    if _JOB_CTX is not None:
+        raise RuntimeError("run_sweep(jobs>1) does not nest")
+    _JOB_CTX = {
+        "groups": group_list,
+        "results_dir": results_dir,
+        "checkpoint_every": checkpoint_every,
+        "vectorized": vectorized,
+        "preset_lookup": preset_lookup,
+        "round_hook": round_hook,
+    }
+    done = 0
+    try:
+        ctx = mp.get_context("fork")
+        with ctx.Pool(processes=min(jobs, len(group_list))) as pool:
+            for results in pool.imap_unordered(_run_cell_group,
+                                               range(len(group_list))):
+                for cell, resumed in results:
+                    done += 1
+                    say(f"[{done}/{len(pending)}] ran  {cell.cell_id}")
+                    stats.ran.append(cell)
+                    if resumed:
+                        stats.resumed.append(cell)
+                        say(f"    resumed {cell.cell_id} from mid-cell "
+                            f"checkpoint")
+    finally:
+        _JOB_CTX = None
     return stats
 
 

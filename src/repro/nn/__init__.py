@@ -7,6 +7,7 @@ serialization — everything the decentralized-learning simulator needs.
 
 from . import functional
 from .batched import (
+    BatchedEvaluator,
     BatchedModel,
     BatchedTrainer,
     UnsupportedLayerError,
@@ -70,6 +71,7 @@ __all__ = [
     "MSELoss",
     "SGD",
     "BatchedSGD",
+    "BatchedEvaluator",
     "BatchedModel",
     "BatchedTrainer",
     "UnsupportedLayerError",

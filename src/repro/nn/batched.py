@@ -63,7 +63,9 @@ __all__ = [
     "BatchedElementwise",
     "BatchedModel",
     "BatchedTrainer",
+    "BatchedEvaluator",
     "vectorize_module",
+    "make_evaluator",
 ]
 
 
@@ -80,6 +82,11 @@ class BatchedLayer:
     for the optimizer.
     """
 
+    #: Whether the layer's output depends only on its input, not on any
+    #: per-node parameter — such layers can run once on an un-stacked
+    #: ``(B, ...)`` batch shared by all nodes (see :meth:`forward_shared`).
+    node_independent = False
+
     def bind(self, block: np.ndarray, offset: int) -> int:
         """Install parameter views from ``block[:, offset:...]``; return
         the offset past this layer's parameters."""
@@ -90,6 +97,29 @@ class BatchedLayer:
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def forward_shared(self, x: np.ndarray) -> np.ndarray:
+        """Forward one un-stacked ``(B, ...)`` batch (no node axis).
+
+        Only meaningful when :attr:`node_independent` is true: the
+        evaluator runs the node-independent prefix of a model on the
+        shared test batch once instead of per node, then broadcasts —
+        a zero-copy view, because every stacked kernel downstream reads
+        2-D slices that all alias the same contiguous buffer. Reshaping
+        a broadcast ``(k, B, ...)`` stack instead (e.g. ``Flatten``)
+        would materialize k redundant copies of the batch. Must not
+        mutate ``x`` (it may view the dataset's storage).
+        """
+        raise NotImplementedError
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Inference-mode forward: no backward caches, and ``x`` — by
+        the evaluator's construction always a freshly allocated stacked
+        activation, never caller-owned data — may be overwritten in
+        place. Defaults to :meth:`forward`; layers whose training
+        forward pays for backward state override it.
+        """
+        return self.forward(x)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         raise NotImplementedError
@@ -121,9 +151,6 @@ class BatchedLinear(BatchedLayer):
             offset += fo
         self.weight = block[:, offset : offset + fi * fo].reshape(k, fi, fo)
         offset += fi * fo
-        if self.weight_grad is None or self.weight_grad.shape[0] != k:
-            self.weight_grad = np.empty((k, fi, fo))
-            self.bias_grad = np.empty((k, fo)) if self.has_bias else None
         return offset
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -139,12 +166,14 @@ class BatchedLinear(BatchedLayer):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward called before forward")
-        grad_x, grad_w, grad_b = F.batched_linear_backward(
+        # Gradients are the kernels' freshly allocated outputs, adopted
+        # by reference — nothing preallocates grad mirrors, so
+        # inference-only binds (BatchedEvaluator) cost no grad memory.
+        grad_x, self.weight_grad, grad_b = F.batched_linear_backward(
             self._x, self.weight, grad_out, bias=self.has_bias
         )
-        self.weight_grad[...] = grad_w
         if self.has_bias:
-            self.bias_grad[...] = grad_b
+            self.bias_grad = grad_b
         return grad_x
 
     def param_grad_pairs(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
@@ -180,9 +209,6 @@ class BatchedConv2d(BatchedLayer):
             offset += oc
         self.weight = block[:, offset : offset + wsize].reshape(k, oc, ic, ks, ks)
         offset += wsize
-        if self.weight_grad is None or self.weight_grad.shape[0] != k:
-            self.weight_grad = np.empty((k, oc, ic, ks, ks))
-            self.bias_grad = np.empty((k, oc)) if self.has_bias else None
         return offset
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -216,11 +242,11 @@ class BatchedConv2d(BatchedLayer):
         # (k, B, O, oh, ow) -> (k, O, B*oh*ow) matching the column layout
         grad_mat = grad_out.transpose(0, 2, 3, 4, 1).reshape(kn, self.out_channels, -1)
 
-        self.weight_grad[...] = np.matmul(
+        self.weight_grad = np.matmul(
             grad_mat, self._cols.transpose(0, 2, 1)
         ).reshape(self.weight.shape)
         if self.has_bias:
-            self.bias_grad[...] = grad_mat.sum(axis=2)
+            self.bias_grad = grad_mat.sum(axis=2)
 
         w_mat = self.weight.reshape(kn, self.out_channels, -1)
         grad_cols = np.matmul(w_mat.transpose(0, 2, 1), grad_mat)
@@ -247,15 +273,11 @@ class BatchedGroupNorm(BatchedLayer):
         self._cache: tuple | None = None
 
     def bind(self, block: np.ndarray, offset: int) -> int:
-        k = block.shape[0]
         c = self.num_channels
         self.beta = block[:, offset : offset + c]
         offset += c
         self.gamma = block[:, offset : offset + c]
         offset += c
-        if self.gamma_grad is None or self.gamma_grad.shape[0] != k:
-            self.gamma_grad = np.empty((k, c))
-            self.beta_grad = np.empty((k, c))
         return offset
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -285,8 +307,8 @@ class BatchedGroupNorm(BatchedLayer):
         kn, n, c, h, w = shape
         g = self.num_groups
 
-        self.gamma_grad[...] = (grad_out * xhat).sum(axis=(1, 3, 4))
-        self.beta_grad[...] = grad_out.sum(axis=(1, 3, 4))
+        self.gamma_grad = (grad_out * xhat).sum(axis=(1, 3, 4))
+        self.beta_grad = grad_out.sum(axis=(1, 3, 4))
 
         dxhat = (grad_out * self.gamma[:, None, :, None, None]).reshape(
             kn, n, g, c // g * h * w
@@ -306,12 +328,17 @@ class BatchedGroupNorm(BatchedLayer):
 class BatchedFlatten(BatchedLayer):
     """Reshape ``(k, B, ...)`` to ``(k, B, prod(...))``."""
 
+    node_independent = True
+
     def __init__(self) -> None:
         self._shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._shape = x.shape
         return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def forward_shared(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._shape is None:
@@ -324,8 +351,13 @@ class BatchedPool2d(BatchedLayer):
     into the batch axis: ``(k, B, C, H, W) -> (k*B, C, H, W)`` through a
     fresh serial pooling layer and back."""
 
+    node_independent = True
+
     def __init__(self, template: MaxPool2d | AvgPool2d) -> None:
         self.pool = type(template)(template.kernel_size, template.stride)
+
+    def forward_shared(self, x: np.ndarray) -> np.ndarray:
+        return self.pool.forward(x)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         kn, n = x.shape[:2]
@@ -340,12 +372,39 @@ class BatchedPool2d(BatchedLayer):
 
 class BatchedElementwise(BatchedLayer):
     """Activations are shape-agnostic elementwise maps; a fresh instance
-    of the serial layer runs unchanged on ``(k, B, ...)`` stacks."""
+    of the serial layer runs unchanged on ``(k, B, ...)`` stacks.
+
+    Inference skips the training forward's backward bookkeeping: the
+    rectifiers drop the cached mask and the ``np.where`` select in
+    favour of one fused ``np.fmax`` pass. ``fmax`` — not ``maximum`` —
+    because it shares ``np.where(x > 0, x, 0.0)``'s treatment of every
+    input: NaN pre-activations (a diverged node) map to ``0.0`` instead
+    of propagating, so the serial/batched equality contract survives
+    divergence; the only representational difference left is the sign
+    of exact zeros, which no comparison, argmax or downstream kernel
+    can observe.
+    """
+
+    node_independent = True
 
     def __init__(self, layer: Module) -> None:
         self.layer = layer
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.layer.forward(x)
+
+    def forward_shared(self, x: np.ndarray) -> np.ndarray:
+        if isinstance(self.layer, ReLU):
+            return np.fmax(x, 0.0)
+        if isinstance(self.layer, LeakyReLU):
+            return np.where(x > 0.0, x, self.layer.alpha * x)
+        return self.layer.forward(x)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        if isinstance(self.layer, ReLU):
+            return np.fmax(x, 0.0, out=x)
+        if isinstance(self.layer, LeakyReLU):
+            return np.where(x > 0.0, x, self.layer.alpha * x)
         return self.layer.forward(x)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -429,6 +488,130 @@ def vectorize_module(template: Module) -> BatchedModel:
     return BatchedModel(
         [_vectorize_layer(layer) for layer in layers], template.num_parameters()
     )
+
+
+class BatchedEvaluator:
+    """Evaluates every node's model on a shared test set in one stacked
+    forward pass per batch.
+
+    The serial evaluation path pays ``n_nodes × n_batches`` Python-level
+    forward passes per eval round (plus one parameter-vector load per
+    node) — the dominant cost of a faithful run. This evaluator binds a
+    block of node parameter rows once per round and broadcasts each test
+    batch across the node axis, so the whole round costs ``n_batches``
+    stacked passes regardless of the node count.
+
+    Bit-compatibility: every stacked kernel is slice-for-slice
+    bit-identical to its serial counterpart (module docstring), so the
+    logits — and therefore the argmax predictions and per-node correct
+    counts — equal :func:`repro.simulation.metrics.evaluate_model_vector`
+    run on each row separately. The returned accuracies are exactly
+    equal, not merely close.
+
+    ``node_chunk`` bounds peak activation memory: im2col inflates conv
+    activations by ``C·kh·kw``, so stacking hundreds of paper-size CNN
+    nodes in one pass can exhaust RAM. Chunking the node axis runs
+    ``ceil(k / node_chunk)`` stacked passes instead of one and changes
+    no result.
+    """
+
+    def __init__(self, template: Module, node_chunk: int | None = None) -> None:
+        if node_chunk is not None and node_chunk <= 0:
+            raise ValueError("node_chunk must be positive when given")
+        self.model = vectorize_module(template)
+        self.node_chunk = node_chunk
+
+    def correct_counts(
+        self, block: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """Per-row count of correct top-1 predictions on one batch.
+
+        ``block`` must already be bound; ``x``/``y`` are one un-stacked
+        test batch. The test batch is identical for every node, so the
+        model's node-independent prefix (flatten/pool/activations before
+        the first parameterized layer) runs once on the un-stacked batch
+        and the result is broadcast across the node axis — a zero-copy
+        view, since the stacked kernels consume it slice by slice.
+        """
+        k = block.shape[0]
+        split = 0
+        for layer in self.model.layers:
+            if not layer.node_independent:
+                break
+            x = layer.forward_shared(x)
+            split += 1
+        x = np.broadcast_to(x, (k, *x.shape))
+        for layer in self.model.layers[split:]:
+            x = layer.infer(x)
+        return (x.argmax(axis=2) == y).sum(axis=1)
+
+    def evaluate(
+        self,
+        state: np.ndarray,
+        dataset,
+        node_ids: np.ndarray | None = None,
+        batch_size: int = 256,
+    ) -> np.ndarray:
+        """Top-1 accuracy of every selected node row of ``state`` on
+        ``dataset`` (an :class:`~repro.data.dataset.ArrayDataset`).
+
+        Returns accuracies in ``node_ids`` order (all rows when ``None``),
+        each bit-identical to the serial per-node evaluation.
+        """
+        state = np.asarray(state)
+        if state.ndim != 2 or state.shape[1] != self.model.dim:
+            raise ValueError(
+                f"expected an (n, {self.model.dim}) state matrix, "
+                f"got {state.shape}"
+            )
+        ids = (
+            np.arange(state.shape[0])
+            if node_ids is None
+            else np.asarray(node_ids)
+        )
+        block = np.ascontiguousarray(state[ids])
+        k = block.shape[0]
+        chunk = self.node_chunk if self.node_chunk is not None else max(k, 1)
+        n = len(dataset)
+        correct = np.zeros(k, dtype=np.int64)
+        for lo in range(0, k, chunk):
+            sub = block[lo : lo + chunk]
+            self.model.bind(sub)
+            for start in range(0, n, batch_size):
+                xb = dataset.x[start : start + batch_size]
+                yb = dataset.y[start : start + batch_size]
+                correct[lo : lo + chunk] += self.correct_counts(sub, xb, yb)
+        return correct / n
+
+
+def make_evaluator(
+    template: Module, eval_mode: str, auto: bool = True
+) -> BatchedEvaluator | None:
+    """Resolve an ``eval_mode`` flag into an evaluator (or ``None`` for
+    the serial path) — the one place the mode set lives.
+
+    ``"serial"`` → ``None``. ``"batched"`` → an evaluator, raising
+    :class:`UnsupportedLayerError` for models without a batched mirror.
+    ``"auto"`` → what ``auto`` says: callers with a stronger signal pass
+    it (the engine forwards ``vectorized``); callers without one keep
+    the default and get the batched path whenever the model supports it
+    (safe either way — both paths return exactly equal accuracies).
+    """
+    if eval_mode not in ("serial", "batched", "auto"):
+        raise ValueError(
+            f'eval_mode must be "serial", "batched" or "auto", '
+            f"got {eval_mode!r}"
+        )
+    if eval_mode == "serial":
+        return None
+    if eval_mode == "batched":
+        return BatchedEvaluator(template)
+    if not auto:
+        return None
+    try:
+        return BatchedEvaluator(template)
+    except UnsupportedLayerError:
+        return None
 
 
 class BatchedTrainer:

@@ -26,6 +26,7 @@ import numpy as np
 from ..core.schedule import RoundSchedule
 from ..data.dataset import ArrayDataset
 from ..energy.traces import EnergyTrace
+from ..nn.batched import make_evaluator
 from ..nn.losses import CrossEntropyLoss
 from ..nn.module import Module
 from ..nn.optim import SGD
@@ -148,6 +149,14 @@ class AsyncGossipEngine:
     ``activations_per_node`` times in expectation (total event budget
     ``n × activations_per_node``), evaluating every ``eval_every``
     events.
+
+    ``eval_mode`` mirrors :class:`~repro.simulation.engine.EngineConfig`:
+    ``"auto"`` (default) uses the batched cross-node evaluator whenever
+    the model has a batched mirror and falls back to the serial per-node
+    loop otherwise — safe because both paths count correct predictions
+    identically and return bit-equal accuracies. ``"batched"`` forces
+    the stacked path (raising for unsupported layers), ``"serial"``
+    forces the loop.
     """
 
     def __init__(
@@ -161,6 +170,7 @@ class AsyncGossipEngine:
         rng: np.random.Generator,
         trace: EnergyTrace | None = None,
         eval_node_sample: int | None = None,
+        eval_mode: str = "auto",
     ) -> None:
         n = len(nodes)
         if n != len(neighbor_lists):
@@ -177,6 +187,7 @@ class AsyncGossipEngine:
         self.rng = rng
         self.trace = trace
         self.eval_node_sample = eval_node_sample
+        self._evaluator = make_evaluator(model, eval_mode)
         self.loss = CrossEntropyLoss()
         self.optimizer = SGD(model.parameters(), lr=learning_rate)
         init = parameter_vector(model)
@@ -220,7 +231,8 @@ class AsyncGossipEngine:
                 self.n_nodes, size=self.eval_node_sample, replace=False
             )
         mean_acc, std_acc = evaluate_state(
-            self.model, self.state, self.test_set, node_ids=node_ids
+            self.model, self.state, self.test_set, node_ids=node_ids,
+            evaluator=self._evaluator,
         )
         return AsyncRecord(
             time=time,

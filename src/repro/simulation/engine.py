@@ -40,6 +40,12 @@ shared workspace model and leaks across nodes (see
 :class:`repro.nn.optim.BatchedSGD`). Models containing layers without a
 batched mirror (``Dropout``, ``BatchNorm2d``) raise
 :class:`repro.nn.batched.UnsupportedLayerError` at engine construction.
+
+Evaluation rounds come in the same two flavors, selected by
+``EngineConfig.eval_mode`` (``"auto"`` follows ``vectorized``): the
+serial per-node loop, or one stacked forward pass per test batch for
+all evaluated nodes (:class:`repro.nn.batched.BatchedEvaluator`) —
+per-node accuracies exactly equal either way, ~3-4x faster batched.
 """
 
 from __future__ import annotations
@@ -57,7 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .failures import FailureModel
 from ..data.dataset import ArrayDataset
 from ..energy.accounting import EnergyMeter
-from ..nn.batched import BatchedTrainer
+from ..nn.batched import BatchedTrainer, make_evaluator
 from ..nn.losses import CrossEntropyLoss
 from ..nn.module import Module
 from ..nn.optim import SGD
@@ -74,6 +80,15 @@ class EngineConfig:
 
     ``vectorized`` selects the batched multi-node training path (see the
     module docstring for the bit-compatibility contract).
+
+    ``eval_mode`` selects the evaluation implementation: ``"serial"``
+    loops nodes through the workspace model, ``"batched"`` forces the
+    stacked cross-node evaluator (raises
+    :class:`~repro.nn.batched.UnsupportedLayerError` for models without
+    a batched mirror), and ``"auto"`` (default) follows ``vectorized``.
+    Both paths count correct predictions identically, so per-node
+    accuracies — and every :class:`RoundRecord` field — are exactly
+    equal whichever mode runs.
     """
 
     local_steps: int
@@ -84,8 +99,14 @@ class EngineConfig:
     momentum: float = 0.0
     weight_decay: float = 0.0
     vectorized: bool = False
+    eval_mode: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.eval_mode not in ("serial", "batched", "auto"):
+            raise ValueError(
+                f'eval_mode must be "serial", "batched" or "auto", '
+                f"got {self.eval_mode!r}"
+            )
         if self.local_steps <= 0:
             raise ValueError("local_steps must be positive")
         if self.learning_rate <= 0:
@@ -161,6 +182,9 @@ class SimulationEngine:
             )
             if config.vectorized
             else None
+        )
+        self._evaluator = make_evaluator(
+            model, config.eval_mode, auto=config.vectorized
         )
 
         dim = model.num_parameters()
@@ -252,9 +276,14 @@ class SimulationEngine:
             return
         if self._public is None:
             self._public = np.zeros_like(self.state)
-        for i in range(self.state.shape[0]):
-            delta, _ = self.compressor.compress(self.state[i] - self._public[i])
-            self._public[i] += delta
+        # One block compression over the node axis. Vectorizing
+        # compressors (top-k, identity) collapse the per-node loop into
+        # row-wise array ops; rng-backed ones fall back to the base
+        # class's ascending-row loop, so the rng stream consumption —
+        # and hence every compressed value — matches the historical
+        # per-node loop exactly either way.
+        deltas, _ = self.compressor.compress_block(self.state - self._public)
+        self._public += deltas
         diag = w.diagonal()
         off = w - sp.diags(diag)
         self.state = diag[:, None] * self.state + off @ self._public
@@ -271,7 +300,8 @@ class SimulationEngine:
         if sample is not None and sample < self.n_nodes:
             node_ids = self.eval_rng.choice(self.n_nodes, size=sample, replace=False)
         mean_acc, std_acc = evaluate_state(
-            self.model, self.state, self.test_set, node_ids=node_ids
+            self.model, self.state, self.test_set, node_ids=node_ids,
+            evaluator=self._evaluator,
         )
         energy = self.meter.total_wh if self.meter is not None else 0.0
         return RoundRecord(

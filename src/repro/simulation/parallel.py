@@ -143,6 +143,12 @@ class ParallelSimulationEngine(SimulationEngine):
     models the serial engine is usually faster. Combine with
     ``EngineConfig.vectorized`` to run each worker's block through the
     batched trainer.
+
+    Evaluation is inherited from :class:`SimulationEngine` and runs in
+    the parent process: with ``vectorized`` (or ``eval_mode="batched"``)
+    the cross-node :class:`repro.nn.batched.BatchedEvaluator` evaluates
+    all nodes in stacked forward passes, so eval rounds never pay the
+    pool's IPC cost.
     """
 
     def __init__(

@@ -75,13 +75,14 @@ class TestCommands:
         args = build_parser().parse_args([
             "sweep", "--shard", "2/4", "--results-dir", "out",
             "--checkpoint-every", "32", "--degrees", "3", "4",
-            "--rounds", "16", "--vectorized", "--dry-run",
+            "--rounds", "16", "--vectorized", "--dry-run", "--jobs", "4",
         ])
         assert args.shard == "2/4"
         assert args.results_dir == "out"
         assert args.checkpoint_every == 32
         assert args.degrees == [3, 4]
         assert args.vectorized and args.dry_run
+        assert args.jobs == 4
 
     def test_aggregate_parses(self):
         args = build_parser().parse_args(["aggregate", "--results-dir", "r"])
@@ -139,6 +140,21 @@ class TestArtifactPipeline:
     def test_bad_shard_spec(self, capsys):
         assert main(["sweep", "--shard", "9/4", "--dry-run"]) == 2
         assert "shard" in capsys.readouterr().err
+
+    def test_bad_jobs_rejected(self, capsys):
+        assert main(["sweep", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_sweep_jobs_pool(self, micro, tmp_path, capsys):
+        """The --jobs pool through the CLI: same artifacts, resumable."""
+        res = str(tmp_path / "results")
+        argv = ["sweep", "--preset", "micro-cli",
+                "--algorithms", "skiptrain", "d-psgd",
+                "--seeds", "0", "1", "--results-dir", res, "--jobs", "2"]
+        assert main(argv) == 0
+        assert "ran 4" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "skipped 4" in capsys.readouterr().out
 
     def test_from_artifacts_wrong_targets(self, capsys):
         assert main(["table", "1", "--from-artifacts", "x"]) == 2

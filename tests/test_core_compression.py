@@ -123,6 +123,67 @@ class TestQuantization:
             QuantizationCompressor(17, rng)
 
 
+class TestCompressBlock:
+    """The engine's CHOCO aggregation compresses all node deltas in one
+    block call; its contract is row-for-row bit-identity with per-row
+    ``compress`` in ascending row order (rng streams included)."""
+
+    def test_topk_block_bitwise_equal_rows(self, rng):
+        block = rng.normal(size=(9, 64))
+        comp = TopKCompressor(0.25)
+        out, total = comp.compress_block(block)
+        expect = 0
+        for i in range(block.shape[0]):
+            row, nbytes = comp.compress(block[i])
+            np.testing.assert_array_equal(out[i], row)
+            expect += nbytes
+        assert total == expect
+
+    def test_topk_block_with_ties(self):
+        """Duplicate magnitudes exercise argpartition tie handling: the
+        vectorized row-wise selection must pick the same survivors as
+        the 1-D call."""
+        base = np.array([3.0, -3.0, 3.0, 1.0, -1.0, 1.0, 0.5, 0.5])
+        block = np.stack([base, base[::-1].copy(), np.roll(base, 3)])
+        comp = TopKCompressor(0.4)
+        out, _ = comp.compress_block(block)
+        for i in range(block.shape[0]):
+            np.testing.assert_array_equal(out[i], comp.compress(block[i])[0])
+
+    def test_topk_full_fraction_block(self, rng):
+        block = rng.normal(size=(4, 10))
+        out, nbytes = TopKCompressor(1.0).compress_block(block)
+        np.testing.assert_array_equal(out, block)
+        assert nbytes == block.size * 8
+
+    def test_identity_block(self, rng):
+        block = rng.normal(size=(5, 20))
+        out, nbytes = IdentityCompressor().compress_block(block)
+        np.testing.assert_array_equal(out, block)
+        assert nbytes == 800
+
+    @pytest.mark.parametrize("make", [
+        lambda rng: RandomKCompressor(0.3, rng),
+        lambda rng: QuantizationCompressor(4, rng),
+    ], ids=["random-k", "quantize"])
+    def test_rng_compressors_fall_back_to_row_loop(self, make):
+        """Stochastic compressors must consume their rng stream in node
+        order — the base-class block fallback reproduces the per-row
+        loop exactly when both start from the same generator state."""
+        block = np.random.default_rng(7).normal(size=(6, 40))
+        by_row = make(np.random.default_rng(42))
+        by_block = make(np.random.default_rng(42))
+        rows = [by_row.compress(block[i]) for i in range(block.shape[0])]
+        out, total = by_block.compress_block(block)
+        np.testing.assert_array_equal(out, np.stack([r[0] for r in rows]))
+        assert total == sum(r[1] for r in rows)
+
+    def test_non_2d_rejected(self, rng):
+        for comp in (IdentityCompressor(), TopKCompressor(0.5)):
+            with pytest.raises(ValueError):
+                comp.compress_block(rng.normal(size=10))
+
+
 class TestEngineIntegration:
     def test_compressed_run_still_learns(self):
         """SkipTrain + top-k compression: accuracy degrades gracefully,
@@ -162,3 +223,45 @@ class TestEngineIntegration:
         acc_comp, comm_comp = run(TopKCompressor(0.25))
         assert comm_comp < 0.5 * comm_full
         assert acc_comp > 0.5  # still far above 0.25 chance
+
+    def test_block_compression_exact_in_engine(self):
+        """The engine's CHOCO aggregation now compresses all node
+        deltas in one block call; forcing the base-class per-row loop
+        instead must leave the whole trajectory bit-identical."""
+        from repro.core import DPSGD, Compressor
+        from repro.data import make_classification_images, shard_partition
+        from repro.data.synthetic import SyntheticSpec
+        from repro.nn import small_mlp
+        from repro.simulation import (
+            EngineConfig, RngFactory, SimulationEngine, build_nodes,
+        )
+        from repro.topology import metropolis_hastings_weights, regular_graph
+
+        class LoopTopK(TopKCompressor):
+            compress_block = Compressor.compress_block
+
+        def run(compressor):
+            rngs = RngFactory(3)
+            spec = SyntheticSpec(num_classes=4, channels=1, image_size=4,
+                                 noise_std=1.0, prototype_resolution=2)
+            train, protos = make_classification_images(spec, 200,
+                                                       rngs.stream("data"))
+            test, _ = make_classification_images(spec, 60,
+                                                 rngs.stream("test"),
+                                                 prototypes=protos)
+            parts = shard_partition(train.y, 6, rng=rngs.stream("p"))
+            nodes = build_nodes(train, parts, 8, rngs)
+            w = metropolis_hastings_weights(regular_graph(6, 3, seed=0))
+            cfg = EngineConfig(local_steps=2, learning_rate=0.2,
+                               total_rounds=8, eval_every=4)
+            model = small_mlp(16, 4, hidden=8, rng=rngs.stream("model"))
+            eng = SimulationEngine(model, nodes, w, cfg, test,
+                                   compressor=compressor)
+            history = eng.run(DPSGD(6))
+            return eng.state, history
+
+        state_block, hist_block = run(TopKCompressor(0.25))
+        state_loop, hist_loop = run(LoopTopK(0.25))
+        np.testing.assert_array_equal(state_block, state_loop)
+        assert ([r.mean_accuracy for r in hist_block.records]
+                == [r.mean_accuracy for r in hist_loop.records])

@@ -169,6 +169,55 @@ class TestSweepExecution:
         assert (artifact_path(killed, cell).read_bytes()
                 == artifact_path(ref, cell).read_bytes())
 
+    def test_jobs_pool_byte_identical_to_serial(self, micro_preset, tmp_path):
+        """--jobs N contract: the artifact directory (and the CSV built
+        from it) is byte-identical to a --jobs 1 run of the same plan."""
+        plan = build_plan(micro_preset, ("skiptrain", "d-psgd"),
+                          seeds=(0, 1))
+        solo, pooled = tmp_path / "solo", tmp_path / "pooled"
+        run_sweep(plan, solo, preset_lookup=lookup_for(micro_preset))
+        stats = run_sweep(plan, pooled, jobs=3,
+                          preset_lookup=lookup_for(micro_preset))
+        assert sorted(c.cell_id for c in stats.ran) == sorted(
+            c.cell_id for c in plan
+        )
+        for cell in plan:
+            assert (artifact_path(solo, cell).read_bytes()
+                    == artifact_path(pooled, cell).read_bytes())
+        csv_solo = write_summary_csv(aggregate_results(solo)[0],
+                                     solo / "summary.csv")
+        csv_pooled = write_summary_csv(aggregate_results(pooled)[0],
+                                       pooled / "summary.csv")
+        assert csv_solo.read_bytes() == csv_pooled.read_bytes()
+        # a pooled rerun is a no-op, like the serial path
+        again = run_sweep(plan, pooled, jobs=3,
+                          preset_lookup=lookup_for(micro_preset))
+        assert not again.ran and len(again.skipped) == len(plan)
+
+    def test_jobs_composes_with_shard_and_checkpointing(
+        self, micro_preset, tmp_path
+    ):
+        """Sharded pools with mid-cell checkpointing enabled still cover
+        the plan exactly once, byte-identical to the serial run."""
+        plan = build_plan(micro_preset, ("skiptrain", "greedy"),
+                          seeds=(0, 1))
+        ref, split = tmp_path / "ref", tmp_path / "split"
+        run_sweep(plan, ref, preset_lookup=lookup_for(micro_preset))
+        for index in (1, 2):
+            run_sweep(plan, split, shard=(index, 2), jobs=2,
+                      checkpoint_every=2,
+                      preset_lookup=lookup_for(micro_preset))
+        for cell in plan:
+            assert not checkpoint_path(split, cell).exists()
+            assert (artifact_path(ref, cell).read_bytes()
+                    == artifact_path(split, cell).read_bytes())
+
+    def test_jobs_validation(self, micro_preset, tmp_path):
+        plan = build_plan(micro_preset, ("skiptrain",), seeds=(0,))
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(plan, tmp_path, jobs=0,
+                      preset_lookup=lookup_for(micro_preset))
+
     def test_vectorized_cell_results_match_serial(
         self, micro_preset, tmp_path
     ):
