@@ -286,6 +286,59 @@ def test_batched_eval_speedup_at_64_nodes():
     )
 
 
+# -- async gossip engine: events/sec (tracked baseline) -----------------------
+
+
+def _async_engine(n_nodes: int):
+    """Bench-model async engine: same MLP/data scale as the sync
+    throughput benches, tiny test set so evaluation stays negligible."""
+    from repro.simulation import AsyncGossipEngine, RngFactory, build_nodes
+    from repro.topology import neighbor_lists, regular_graph
+
+    from repro.data import shard_partition
+
+    rngs = RngFactory(0)
+    train, protos = make_classification_images(SPEC, 40 * n_nodes,
+                                               rngs.stream("data"))
+    test, _ = make_classification_images(SPEC, 32, rngs.stream("test"),
+                                         prototypes=protos)
+    parts = shard_partition(train.y, n_nodes, rng=rngs.stream("partition"))
+    nodes = build_nodes(train, parts, 8, rngs)
+    graph = regular_graph(n_nodes, 4, seed=0)
+    model = _mlp_factory(rngs.stream("model"))
+    return AsyncGossipEngine(
+        model, nodes, neighbor_lists(graph), test,
+        local_steps=8, learning_rate=0.2, rng=rngs.stream("events"),
+        eval_rng=rngs.stream("async-eval"),
+    )
+
+
+def test_async_events_throughput():
+    """The tracked async baseline: activation events per second at 64
+    nodes — the per-event cost the in-place gossip rewrite attacks
+    (recorded as ``async_events_per_sec`` in the quick-mode bench
+    gate)."""
+    from repro.simulation import AsyncDPSGD
+
+    activations = 4
+    events = 64 * activations
+
+    def run():
+        eng = _async_engine(64)
+        eng.run(AsyncDPSGD(), activations_per_node=activations,
+                eval_every=events)
+        return eng
+
+    best = _best_of(run)
+    record_bench("async_events_per_sec", {
+        "n_nodes": 64,
+        "events": events,
+        "best_s": round(best, 6),
+        "events_per_s": round(events / best, 3),
+    })
+    assert best > 0.0
+
+
 # -- sweep cell parallelism: --jobs 1 vs --jobs 4 (tracked baseline) ----------
 
 

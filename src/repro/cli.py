@@ -5,6 +5,8 @@ Usage examples::
 
     python -m repro table 1
     python -m repro run --preset cifar10-bench --algorithm skiptrain --degree 3
+    python -m repro async-run --preset cifar10-bench-async \\
+        --algorithm async-skiptrain --degree 3
     python -m repro figure 1 --preset cifar10-bench
     python -m repro gridsearch --preset cifar10-bench --degree 3 --rounds 64
     python -m repro presets
@@ -25,6 +27,14 @@ The artifact pipeline (T1 run → T2 aggregate → T3 render)::
     # T3: render paper outputs from the artifacts, no recomputation
     python -m repro table 3 --from-artifacts results
     python -m repro figure 1 --from-artifacts results
+
+Async cells ride the same pipeline (``--kind async``; artifacts keyed
+by simulated time, resumable/shardable/parallel exactly like sync)::
+
+    python -m repro sweep --kind async --preset cifar10-bench-async \\
+        --algorithms async-skiptrain async-d-psgd --degrees 3 --seeds 0 1 2 \\
+        --results-dir results --checkpoint-every 16 --jobs 2
+    python -m repro aggregate --results-dir results
 """
 
 from __future__ import annotations
@@ -58,6 +68,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the preset's total rounds")
     p_run.add_argument("--gamma-train", type=int, default=None)
     p_run.add_argument("--gamma-sync", type=int, default=None)
+
+    p_arun = sub.add_parser(
+        "async-run",
+        help="run one async gossip policy on one preset (event-driven, "
+             "no global rounds)",
+    )
+    p_arun.add_argument("--preset", default="cifar10-bench-async")
+    p_arun.add_argument(
+        "--algorithm",
+        default="async-skiptrain",
+        choices=["async-d-psgd", "async-skiptrain",
+                 "async-skiptrain-constrained"],
+    )
+    p_arun.add_argument("--degree", type=int, default=None)
+    p_arun.add_argument("--seed", type=int, default=0)
+    p_arun.add_argument("--activations", type=int, default=None,
+                        help="expected activations per node (default: the "
+                             "preset's total_rounds)")
+    p_arun.add_argument("--eval-every", type=int, default=None,
+                        help="evaluation cadence in expected "
+                             "activations-per-node units")
+    p_arun.add_argument("--gamma-train", type=int, default=None)
+    p_arun.add_argument("--gamma-sync", type=int, default=None)
+    p_arun.add_argument("--enforce-budgets", action="store_true",
+                        help="stop nodes from training once their τᵢ "
+                             "battery budget is spent")
 
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument("number", type=int, choices=[1, 2, 3, 4])
@@ -97,16 +133,22 @@ def build_parser() -> argparse.ArgumentParser:
              "one JSON artifact per cell (resumable)",
     )
     p_sweep.add_argument("--preset", default="cifar10-bench")
+    p_sweep.add_argument("--kind", choices=["sync", "async"], default="sync",
+                         help="execution backend: synchronous rounds or "
+                              "the event-driven async gossip engine")
     p_sweep.add_argument("--degree", type=int, default=None,
                          help="single degree (alias for --degrees D)")
     p_sweep.add_argument("--degrees", type=int, nargs="+", default=None,
                          help="degrees to sweep (default: the preset's first)")
     p_sweep.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
     p_sweep.add_argument(
-        "--algorithms", nargs="+", default=["skiptrain", "d-psgd"],
+        "--algorithms", nargs="+", default=None,
+        help="default: skiptrain d-psgd (sync) or async-skiptrain "
+             "async-d-psgd (async)",
     )
     p_sweep.add_argument("--rounds", type=int, default=None,
-                         help="override the preset's total rounds")
+                         help="override the preset's total rounds (for "
+                              "--kind async: expected activations per node)")
     p_sweep.add_argument("--results-dir", default="results",
                          help="artifact root (raw/ and checkpoints/ inside)")
     p_sweep.add_argument("--shard", default="1/1", metavar="I/N",
@@ -179,6 +221,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"energy {record.cumulative_energy_wh:8.2f} Wh")
     print(f"total training energy: {result.meter.total_train_wh:.2f} Wh, "
           f"communication: {result.meter.total_comm_wh:.4f} Wh")
+    return 0
+
+
+def _cmd_async_run(args: argparse.Namespace) -> int:
+    from .core.schedule import RoundSchedule
+    from .experiments import get_preset, prepare, run_async_algorithm
+
+    preset = get_preset(args.preset)
+    degree = args.degree if args.degree is not None else preset.degrees[0]
+    schedule = None
+    if args.gamma_train is not None or args.gamma_sync is not None:
+        if args.gamma_train is None or args.gamma_sync is None:
+            print("error: provide both --gamma-train and --gamma-sync",
+                  file=sys.stderr)
+            return 2
+        schedule = RoundSchedule(args.gamma_train, args.gamma_sync)
+
+    prepared = prepare(preset, degree, seed=args.seed)
+    result = run_async_algorithm(
+        prepared, args.algorithm, schedule=schedule,
+        activations_per_node=args.activations, eval_every=args.eval_every,
+        enforce_budgets=args.enforce_budgets,
+    )
+    print(f"preset={preset.name} degree={degree} algorithm={args.algorithm}")
+    for record in result.history.records:
+        print(f"t={record.time:8.2f} (event {record.activations:7d}): "
+              f"accuracy {record.mean_accuracy * 100:6.2f}% "
+              f"(±{record.std_accuracy * 100:5.2f}) "
+              f"train energy {record.train_energy_wh:8.2f} Wh")
+    print(f"total training energy: {result.train_energy_wh:.2f} Wh")
     return 0
 
 
@@ -301,14 +373,52 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     degrees = args.degrees
     if degrees is None and args.degree is not None:
         degrees = [args.degree]
+    algorithms = args.algorithms
+    if algorithms is None:
+        algorithms = (
+            ["async-skiptrain", "async-d-psgd"] if args.kind == "async"
+            else ["skiptrain", "d-psgd"]
+        )
+    # fail fast on kind/preset/algorithm mismatches instead of a
+    # KeyError deep inside the first cell (possibly in a pool worker)
+    from .experiments import ASYNC_ALGORITHMS, ASYNC_PRESETS
+
+    if args.kind == "async" and not args.preset.endswith("-async"):
+        print(f"error: --kind async expects an -async preset so sync and "
+              f"async artifacts never share a summary group; built-in "
+              f"async presets: {list(ASYNC_PRESETS)}", file=sys.stderr)
+        return 2
+    if args.kind == "sync" and args.preset.endswith("-async"):
+        print(f"error: preset {args.preset!r} is an async preset; add "
+              f"--kind async", file=sys.stderr)
+        return 2
+    if args.kind == "async":
+        unknown = [a for a in algorithms if a.lower() not in ASYNC_ALGORITHMS]
+        if unknown:
+            print(f"error: --kind async supports algorithms "
+                  f"{list(ASYNC_ALGORITHMS)}, got {unknown}",
+                  file=sys.stderr)
+            return 2
+    else:
+        async_named = [a for a in algorithms
+                       if a.lower() in ASYNC_ALGORITHMS]
+        if async_named:
+            print(f"error: {async_named} run on the async engine; add "
+                  f"--kind async", file=sys.stderr)
+            return 2
+    if args.kind == "async" and args.vectorized:
+        print("error: async cells have no vectorized engine; drop "
+              "--vectorized for --kind async", file=sys.stderr)
+        return 2
     try:
         shard = parse_shard(args.shard)
         plan = build_plan(
             preset,
-            tuple(args.algorithms),
+            tuple(algorithms),
             degrees=degrees,
             seeds=tuple(args.seeds),
             total_rounds=args.rounds,
+            kind=args.kind,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -377,6 +487,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_presets()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "async-run":
+        return _cmd_async_run(args)
     if args.command == "table":
         return _cmd_table(args)
     if args.command == "figure":

@@ -36,14 +36,16 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..analysis.aggregate import group_by, mean_std, missing_seeds
+from ..simulation.async_engine import AsyncHistory, AsyncRecord
 from ..simulation.metrics import RoundRecord, RunHistory
 from .presets import ExperimentPreset
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .runner import ExperimentResult
+    from .runner import AsyncExperimentResult, ExperimentResult
 
 __all__ = [
     "ARTIFACT_SCHEMA",
+    "ASYNC_ARTIFACT_SCHEMA",
     "SUMMARY_COLUMNS",
     "PlanCell",
     "build_plan",
@@ -54,11 +56,13 @@ __all__ = [
     "artifact_path",
     "checkpoint_path",
     "write_cell_artifact",
+    "write_async_cell_artifact",
     "load_cell_artifact",
     "list_cell_artifacts",
     "ArtifactMeter",
     "ArtifactResult",
     "result_from_artifact",
+    "async_history_from_artifact",
     "load_cell_result",
     "resolve_cell",
     "SummaryRow",
@@ -68,6 +72,10 @@ __all__ = [
 ]
 
 ARTIFACT_SCHEMA = "repro/cell-artifact/v1"
+ASYNC_ARTIFACT_SCHEMA = "repro/async-cell-artifact/v1"
+
+#: Valid :attr:`PlanCell.kind` values and the schema each one emits.
+_KIND_SCHEMAS = {"sync": ARTIFACT_SCHEMA, "async": ASYNC_ARTIFACT_SCHEMA}
 
 
 # --------------------------------------------------------------------------
@@ -78,19 +86,36 @@ ARTIFACT_SCHEMA = "repro/cell-artifact/v1"
 @dataclass(frozen=True, order=True)
 class PlanCell:
     """One executable sweep cell. ``cell_id`` names its artifact file,
-    so two cells differing in any field never collide on disk."""
+    so two cells differing in any field never collide on disk.
+
+    ``kind`` selects the execution backend: ``"sync"`` cells run the
+    round-based :class:`~repro.simulation.engine.SimulationEngine`,
+    ``"async"`` cells the event-driven
+    :class:`~repro.simulation.async_engine.AsyncGossipEngine` — for
+    async cells ``total_rounds`` means *expected activations per node*
+    and the artifact's records are keyed by simulated time.
+    """
 
     preset: str
     algorithm: str
     degree: int
     seed: int
     total_rounds: int
+    kind: str = "sync"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_SCHEMAS:
+            raise ValueError(
+                f"kind must be one of {sorted(_KIND_SCHEMAS)}, "
+                f"got {self.kind!r}"
+            )
 
     @property
     def cell_id(self) -> str:
+        suffix = "" if self.kind == "sync" else f"__{self.kind}"
         return (
             f"{self.preset}__{self.algorithm}__deg{self.degree}"
-            f"__seed{self.seed}__r{self.total_rounds}"
+            f"__seed{self.seed}__r{self.total_rounds}{suffix}"
         )
 
 
@@ -100,10 +125,12 @@ def build_plan(
     degrees: Sequence[int] | None = None,
     seeds: Sequence[int] = (0, 1, 2),
     total_rounds: int | None = None,
+    kind: str = "sync",
 ) -> tuple[PlanCell, ...]:
     """Enumerate the plan's cells in deterministic order (degree-major,
     then seed, then algorithm — cells sharing a prepared dataset/graph
-    stay adjacent, so the runner's preparation cache hits)."""
+    stay adjacent, so the runner's preparation cache hits). ``kind``
+    stamps every cell (``"sync"`` or ``"async"``)."""
     if not algorithms:
         raise ValueError("need at least one algorithm")
     if not seeds:
@@ -121,6 +148,7 @@ def build_plan(
             degree=int(degree),
             seed=int(seed),
             total_rounds=int(rounds),
+            kind=kind,
         )
         for degree in degs
         for seed in seeds
@@ -202,6 +230,28 @@ def _record_from_json(obj: dict) -> RoundRecord:
     )
 
 
+def _cell_to_json(cell: PlanCell) -> dict:
+    return {
+        "preset": cell.preset,
+        "algorithm": cell.algorithm,
+        "degree": cell.degree,
+        "seed": cell.seed,
+        "total_rounds": cell.total_rounds,
+        "kind": cell.kind,
+    }
+
+
+def _write_artifact_json(
+    results_dir: str | os.PathLike, cell: PlanCell, payload: dict
+) -> Path:
+    path = artifact_path(results_dir, cell)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1, allow_nan=False) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
 def write_cell_artifact(
     results_dir: str | os.PathLike,
     cell: PlanCell,
@@ -213,13 +263,7 @@ def write_cell_artifact(
     coordinates) and deterministic (no timestamps, ``repr`` floats)."""
     payload = {
         "schema": ARTIFACT_SCHEMA,
-        "cell": {
-            "preset": cell.preset,
-            "algorithm": cell.algorithm,
-            "degree": cell.degree,
-            "seed": cell.seed,
-            "total_rounds": cell.total_rounds,
-        },
+        "cell": _cell_to_json(cell),
         "engine": {"vectorized": vectorized},
         "results": {
             "final_accuracy": result.history.final_accuracy(),
@@ -232,19 +276,73 @@ def write_cell_artifact(
             "records": [_record_to_json(r) for r in result.history.records],
         },
     }
-    path = artifact_path(results_dir, cell)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=1, allow_nan=False) + "\n")
-    os.replace(tmp, path)
-    return path
+    return _write_artifact_json(results_dir, cell, payload)
+
+
+def _async_record_to_json(record: AsyncRecord) -> dict:
+    return {
+        "time": record.time,
+        "activations": record.activations,
+        "mean_accuracy": record.mean_accuracy,
+        "std_accuracy": record.std_accuracy,
+        "consensus": record.consensus,
+        "train_energy_wh": record.train_energy_wh,
+    }
+
+
+def _async_record_from_json(obj: dict) -> AsyncRecord:
+    return AsyncRecord(
+        time=float(obj["time"]),
+        activations=int(obj["activations"]),
+        mean_accuracy=float(obj["mean_accuracy"]),
+        std_accuracy=float(obj["std_accuracy"]),
+        consensus=float(obj["consensus"]),
+        train_energy_wh=float(obj["train_energy_wh"]),
+    )
+
+
+def write_async_cell_artifact(
+    results_dir: str | os.PathLike,
+    cell: PlanCell,
+    result: "AsyncExperimentResult",
+) -> Path:
+    """Atomically write one async cell's artifact: the same
+    self-describing shape as :func:`write_cell_artifact`, with history
+    records keyed by simulated time instead of round index. The
+    ``results`` block carries the same keys as sync artifacts (the
+    async engine meters no communication energy, so ``total_comm_wh``
+    is 0.0), so :func:`aggregate_results` folds sync and async cells
+    through one code path."""
+    if cell.kind != "async":
+        raise ValueError(
+            f"cell {cell.cell_id} has kind {cell.kind!r}; async artifacts "
+            f'require kind "async"'
+        )
+    payload = {
+        "schema": ASYNC_ARTIFACT_SCHEMA,
+        "cell": _cell_to_json(cell),
+        "engine": {"events": cell.total_rounds * result.trace.n_nodes},
+        "results": {
+            "final_accuracy": result.history.final_accuracy(),
+            "best_accuracy": result.history.best_accuracy(),
+            "total_train_wh": result.train_energy_wh,
+            "total_comm_wh": 0.0,
+        },
+        "history": {
+            "policy": result.history.policy,
+            "records": [
+                _async_record_to_json(r) for r in result.history.records
+            ],
+        },
+    }
+    return _write_artifact_json(results_dir, cell, payload)
 
 
 def load_cell_artifact(path: str | os.PathLike) -> dict:
-    """Read and validate one raw artifact."""
+    """Read and validate one raw artifact (sync or async schema)."""
     with open(path) as fh:
         payload = json.load(fh)
-    if payload.get("schema") != ARTIFACT_SCHEMA:
+    if payload.get("schema") not in (ARTIFACT_SCHEMA, ASYNC_ARTIFACT_SCHEMA):
         raise ValueError(
             f"{path}: unknown artifact schema {payload.get('schema')!r}"
         )
@@ -289,6 +387,11 @@ class ArtifactResult:
 
 def result_from_artifact(payload: dict) -> ArtifactResult:
     """Rebuild the run's history and energy totals from one artifact."""
+    if payload.get("schema") == ASYNC_ARTIFACT_SCHEMA:
+        raise ValueError(
+            "async artifacts carry time-keyed records; rebuild their "
+            "history via async_history_from_artifact"
+        )
     cell = PlanCell(**payload["cell"])
     history = RunHistory(
         algorithm=payload["history"]["algorithm"],
@@ -299,6 +402,21 @@ def result_from_artifact(payload: dict) -> ArtifactResult:
         total_comm_wh=float(payload["results"]["total_comm_wh"]),
     )
     return ArtifactResult(cell=cell, history=history, meter=meter)
+
+
+def async_history_from_artifact(payload: dict) -> AsyncHistory:
+    """Rebuild an :class:`~repro.simulation.async_engine.AsyncHistory`
+    from one async cell artifact."""
+    if payload.get("schema") != ASYNC_ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"not an async artifact (schema {payload.get('schema')!r})"
+        )
+    return AsyncHistory(
+        policy=payload["history"]["policy"],
+        records=[
+            _async_record_from_json(r) for r in payload["history"]["records"]
+        ],
+    )
 
 
 def load_cell_result(

@@ -15,6 +15,7 @@ phenomena depend on at ~1/40 the FLOPs:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -32,6 +33,8 @@ __all__ = [
     "femnist_bench",
     "cifar10_paper",
     "femnist_paper",
+    "async_variant",
+    "ASYNC_PRESETS",
     "PRESETS",
     "get_preset",
 ]
@@ -183,12 +186,32 @@ def femnist_paper() -> ExperimentPreset:
     )
 
 
+def async_variant(base: ExperimentPreset) -> ExperimentPreset:
+    """The asynchronous twin of a synchronous preset: same data,
+    partition, model, topology densities, and energy trace, renamed
+    ``<name>-async``. For async cells ``total_rounds`` is reinterpreted
+    as the *expected activations per node* (unit-rate Poisson clocks
+    make one expected activation the async analogue of one round) and
+    ``eval_every`` as the evaluation cadence in expected
+    activations-per-node units."""
+    return dataclasses.replace(base, name=base.name + "-async")
+
+
 PRESETS: dict[str, Callable[[], ExperimentPreset]] = {
     "cifar10-bench": cifar10_bench,
     "femnist-bench": femnist_bench,
     "cifar10-paper": cifar10_paper,
     "femnist-paper": femnist_paper,
+    "cifar10-bench-async": lambda: async_variant(cifar10_bench()),
+    "femnist-bench-async": lambda: async_variant(femnist_bench()),
+    "cifar10-paper-async": lambda: async_variant(cifar10_paper()),
+    "femnist-paper-async": lambda: async_variant(femnist_paper()),
 }
+
+#: Preset names whose cells run on the asynchronous gossip engine.
+ASYNC_PRESETS: tuple[str, ...] = tuple(
+    name for name in PRESETS if name.endswith("-async")
+)
 
 
 def get_preset(name: str) -> ExperimentPreset:

@@ -8,6 +8,14 @@ same code path. :func:`build_run` exposes the wired-but-not-yet-run
 mid-cell checkpoint before running; ``vectorized=True`` selects the
 batched multi-node engine (bit-compatible with serial for plain SGD,
 so artifacts are identical whichever engine produced them).
+
+:func:`build_async_run` / :func:`run_async_algorithm` are the
+event-driven twins: the same :class:`PreparedExperiment` (identical
+data, partition, and regular graph), wired into an
+:class:`~repro.simulation.async_engine.AsyncGossipEngine` plus an async
+policy. Construction is deterministic in ``prepared`` and the
+overrides, which is what lets the sweep orchestrator rebuild a killed
+async cell and restore its checkpoint into it.
 """
 
 from __future__ import annotations
@@ -26,19 +34,48 @@ from ..data.partition import shard_partition, writer_partition
 from ..data.synthetic import make_classification_images, synthetic_femnist
 from ..energy.accounting import EnergyMeter
 from ..energy.traces import EnergyTrace, build_trace
+from ..simulation.async_engine import (
+    AsyncDPSGD,
+    AsyncGossipEngine,
+    AsyncHistory,
+    AsyncPolicy,
+    AsyncSkipTrain,
+    AsyncSkipTrainConstrained,
+)
 from ..simulation.builder import build_nodes
 from ..simulation.engine import EngineConfig, SimulationEngine
+from ..simulation.failures import FailureModel
 from ..simulation.metrics import RunHistory
 from ..simulation.rng import RngFactory
 from .presets import ExperimentPreset
 
 __all__ = [
     "ExperimentResult",
+    "AsyncExperimentResult",
     "PreparedExperiment",
+    "ASYNC_ALGORITHMS",
     "prepare",
     "build_run",
     "run_algorithm",
+    "build_async_run",
+    "run_async_algorithm",
 ]
+
+#: Algorithm names that run on the asynchronous gossip engine.
+ASYNC_ALGORITHMS = (
+    "async-d-psgd",
+    "async-skiptrain",
+    "async-skiptrain-constrained",
+)
+
+
+def async_eval_cadence(eval_every_rounds: int, n_nodes: int) -> int:
+    """Async evaluation cadence in *events* from a round-equivalent
+    ``eval_every``: one expected activation per node ≈ one round, so
+    the cadence scales by ``n``. The single home of this formula —
+    ``repro async-run`` and the sweep orchestrator must agree on it,
+    or the same cell would evaluate at different simulated times."""
+    return max(1, eval_every_rounds * n_nodes)
 
 
 @dataclass
@@ -257,4 +294,159 @@ def run_algorithm(
     assert engine.meter is not None
     return ExperimentResult(
         history=history, meter=engine.meter, trace=prepared.trace
+    )
+
+
+# --------------------------------------------------------------------------
+# Asynchronous gossip cells
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class AsyncExperimentResult:
+    """Async run history plus its training-energy total and trace."""
+
+    history: AsyncHistory
+    train_energy_wh: float
+    trace: EnergyTrace
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.history.final_accuracy()
+
+
+def _make_async_policy(
+    name: str,
+    prepared: PreparedExperiment,
+    schedule: RoundSchedule | None,
+    activations_per_node: int,
+    rngs: RngFactory,
+) -> AsyncPolicy:
+    if schedule is None:
+        schedule = prepared.preset.schedule_for_degree(prepared.degree)
+    key = name.lower()
+    if key == "async-d-psgd":
+        return AsyncDPSGD()
+    if key == "async-skiptrain":
+        return AsyncSkipTrain(schedule)
+    if key == "async-skiptrain-constrained":
+        return AsyncSkipTrainConstrained(
+            schedule,
+            budgets=prepared.trace.budget_rounds,
+            expected_activations=activations_per_node,
+            rng=rngs.stream("participation"),
+        )
+    raise KeyError(
+        f"unknown async algorithm {name!r}; available: {ASYNC_ALGORITHMS}"
+    )
+
+
+def build_async_run(
+    prepared: PreparedExperiment,
+    algorithm: str | AsyncPolicy,
+    schedule: RoundSchedule | None = None,
+    activations_per_node: int | None = None,
+    eval_on: str = "test",
+    eval_mode: str = "auto",
+    failure_model: "FailureModel | None" = None,
+    enforce_budgets: bool = False,
+) -> tuple[AsyncGossipEngine, AsyncPolicy]:
+    """Wire the (engine, policy) pair for one async cell without
+    running it.
+
+    The cell shares the prepared experiment's dataset, partition, and
+    the *same* ``regular_graph(n, degree, seed)`` the synchronous
+    mixing matrix was derived from, expressed as neighbor lists.
+    Construction is deterministic in ``prepared`` and the overrides;
+    two calls yield engines whose runs are bit-identical, which the
+    sweep orchestrator relies on to restore mid-run checkpoints.
+    ``activations_per_node`` defaults to the preset's ``total_rounds``
+    (one expected activation ≈ one round at unit clock rate).
+    """
+    from ..topology.graphs import neighbor_lists, regular_graph
+
+    if eval_on not in ("test", "validation"):
+        raise ValueError('eval_on must be "test" or "validation"')
+    preset = prepared.preset
+    rngs = RngFactory(prepared.seed)
+    activations = (
+        activations_per_node
+        if activations_per_node is not None
+        else preset.total_rounds
+    )
+    if activations <= 0:
+        raise ValueError("activations_per_node must be positive")
+    graph = regular_graph(preset.n_nodes, prepared.degree, seed=prepared.seed)
+    model = preset.model_factory(rngs.stream("model"))
+    nodes = build_nodes(
+        prepared.train, prepared.partition, preset.batch_size, rngs
+    )
+    engine = AsyncGossipEngine(
+        model,
+        nodes,
+        neighbor_lists(graph),
+        prepared.test if eval_on == "test" else prepared.validation,
+        local_steps=preset.local_steps,
+        learning_rate=preset.learning_rate,
+        rng=rngs.stream("events"),
+        trace=prepared.trace,
+        eval_node_sample=preset.eval_node_sample,
+        eval_mode=eval_mode,
+        eval_rng=rngs.stream("async-eval"),
+        failure_model=failure_model,
+        enforce_budgets=enforce_budgets,
+    )
+    if isinstance(algorithm, str):
+        policy = _make_async_policy(
+            algorithm, prepared, schedule, activations, rngs
+        )
+    else:
+        policy = algorithm
+    return engine, policy
+
+
+def run_async_algorithm(
+    prepared: PreparedExperiment,
+    algorithm: str | AsyncPolicy,
+    schedule: RoundSchedule | None = None,
+    activations_per_node: int | None = None,
+    eval_every: int | None = None,
+    eval_on: str = "test",
+    eval_mode: str = "auto",
+    failure_model: "FailureModel | None" = None,
+    enforce_budgets: bool = False,
+) -> AsyncExperimentResult:
+    """Run one async gossip policy on a prepared experiment cell.
+
+    ``eval_every`` is in the preset's round-equivalent units (expected
+    activations per node); it is scaled by ``n`` into an event cadence,
+    so async histories carry about as many records as a sync run of the
+    same preset. Defaults to the preset's ``eval_every``.
+    """
+    engine, policy = build_async_run(
+        prepared,
+        algorithm,
+        schedule=schedule,
+        activations_per_node=activations_per_node,
+        eval_on=eval_on,
+        eval_mode=eval_mode,
+        failure_model=failure_model,
+        enforce_budgets=enforce_budgets,
+    )
+    preset = prepared.preset
+    activations = (
+        activations_per_node
+        if activations_per_node is not None
+        else preset.total_rounds
+    )
+    cadence = eval_every if eval_every is not None else preset.eval_every
+    history = engine.run(
+        policy,
+        activations_per_node=activations,
+        eval_every=async_eval_cadence(cadence, engine.n_nodes),
+    )
+    return AsyncExperimentResult(
+        history=history,
+        train_energy_wh=engine.train_energy_wh,
+        trace=prepared.trace,
     )

@@ -19,6 +19,10 @@ mean curves with std bands (Fig. 4). Two execution styles live here:
   fork pool (cells are independent; the artifact set stays
   byte-identical to a serial run). Aggregation to CSV is a separate
   step (``repro aggregate``), tolerant of partial sweeps.
+
+Both execution backends ride the same orchestration: ``kind="async"``
+cells run on the event-driven gossip engine with identical
+skip/shard/jobs/checkpoint semantics (see :func:`run_cell`).
 """
 
 from __future__ import annotations
@@ -31,17 +35,31 @@ from typing import Callable
 import numpy as np
 
 from ..core.schedule import RoundSchedule
-from ..simulation.checkpoint import load_run_checkpoint, save_run_checkpoint
+from ..simulation.checkpoint import (
+    load_async_run_checkpoint,
+    load_run_checkpoint,
+    save_async_run_checkpoint,
+    save_run_checkpoint,
+)
 from .artifacts import (
     PlanCell,
     artifact_path,
     checkpoint_path,
     shard_cells,
+    write_async_cell_artifact,
     write_cell_artifact,
 )
 from .presets import ExperimentPreset, get_preset
 from .reporting import render_table
-from .runner import ExperimentResult, build_run, prepare, run_algorithm
+from .runner import (
+    AsyncExperimentResult,
+    ExperimentResult,
+    async_eval_cadence,
+    build_async_run,
+    build_run,
+    prepare,
+    run_algorithm,
+)
 
 __all__ = [
     "SweepCell",
@@ -177,7 +195,7 @@ def run_cell(
     checkpoint_every: int = 0,
     vectorized: bool = False,
     round_hook: Callable | None = None,
-) -> tuple[ExperimentResult, bool]:
+) -> "tuple[ExperimentResult | AsyncExperimentResult, bool]":
     """Execute one plan cell and write its raw artifact.
 
     If a mid-run checkpoint for the cell exists (a previous process was
@@ -190,6 +208,13 @@ def run_cell(
     resume exactly; see :meth:`SimulationEngine.run`). The checkpoint
     is deleted once the artifact is safely on disk.
 
+    ``kind="async"`` cells dispatch to the event-driven engine: the
+    same skip/resume/checkpoint contract, with ``checkpoint_every``
+    counted in the cell's round-equivalent unit (expected activations
+    per node — ``checkpoint_every × n`` events) and the hook invoked as
+    ``round_hook(engine, event, history, event)`` after every event.
+    Async resume is exact from *any* event boundary.
+
     Returns ``(result, resumed_from_checkpoint)``.
     """
     if preset.name != cell.preset:
@@ -199,6 +224,16 @@ def run_cell(
         )
     if prepared is None:
         prepared = prepare(preset, cell.degree, seed=cell.seed)
+    if cell.kind == "async":
+        if vectorized:
+            raise ValueError(
+                "async cells have no vectorized engine; drop --vectorized "
+                "for kind=async sweeps"
+            )
+        return _run_async_cell(
+            preset, cell, results_dir, prepared=prepared,
+            checkpoint_every=checkpoint_every, round_hook=round_hook,
+        )
     engine, algo = build_run(
         prepared,
         cell.algorithm,
@@ -234,6 +269,60 @@ def run_cell(
         history=history, meter=engine.meter, trace=prepared.trace
     )
     write_cell_artifact(results_dir, cell, result, vectorized=vectorized)
+    ckpt.unlink(missing_ok=True)
+    return result, resumed
+
+
+def _run_async_cell(
+    preset: ExperimentPreset,
+    cell: PlanCell,
+    results_dir: str | os.PathLike,
+    *,
+    prepared,
+    checkpoint_every: int,
+    round_hook: Callable | None,
+) -> tuple[AsyncExperimentResult, bool]:
+    """The ``kind="async"`` execution path of :func:`run_cell`."""
+    engine, policy = build_async_run(
+        prepared, cell.algorithm, activations_per_node=cell.total_rounds
+    )
+    n = engine.n_nodes
+    total_events = n * cell.total_rounds
+    ckpt = checkpoint_path(results_dir, cell)
+    start_event, history = 0, None
+    resumed = ckpt.is_file()
+    if resumed:
+        start_event, history = load_async_run_checkpoint(engine, policy, ckpt)
+
+    ckpt_interval = checkpoint_every * n  # round-equivalents → events
+    last_ckpt = {"event": start_event}
+
+    def hook(eng, event, hist):
+        if (
+            checkpoint_every > 0
+            and event < total_events
+            and event - last_ckpt["event"] >= ckpt_interval
+        ):
+            ckpt.parent.mkdir(parents=True, exist_ok=True)
+            save_async_run_checkpoint(eng, policy, hist, event, ckpt)
+            last_ckpt["event"] = event
+        if round_hook is not None:
+            round_hook(eng, event, hist, event)
+
+    history = engine.run(
+        policy,
+        activations_per_node=cell.total_rounds,
+        eval_every=async_eval_cadence(preset.eval_every, n),
+        start_event=start_event,
+        history=history,
+        event_hook=hook,
+    )
+    result = AsyncExperimentResult(
+        history=history,
+        train_energy_wh=engine.train_energy_wh,
+        trace=prepared.trace,
+    )
+    write_async_cell_artifact(results_dir, cell, result)
     ckpt.unlink(missing_ok=True)
     return result, resumed
 

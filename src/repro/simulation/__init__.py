@@ -14,8 +14,10 @@ from .async_engine import (
 )
 from .builder import build_engine, build_nodes
 from .checkpoint import (
+    load_async_run_checkpoint,
     load_checkpoint,
     load_run_checkpoint,
+    save_async_run_checkpoint,
     save_checkpoint,
     save_run_checkpoint,
 )
@@ -84,6 +86,8 @@ __all__ = [
     "load_checkpoint",
     "save_run_checkpoint",
     "load_run_checkpoint",
+    "save_async_run_checkpoint",
+    "load_async_run_checkpoint",
     "generator_state",
     "restore_generator",
 ]

@@ -14,12 +14,37 @@ activation counter — training-silent *activations* replace
 training-silent rounds. Energy accounting charges a node's per-round
 training energy per training activation, so the 50 % saving carries
 over activation-for-activation.
+
+The engine composes with the same scenario axes as the synchronous one:
+
+* **Failures** — a :class:`~repro.simulation.failures.FailureModel`
+  queried at ``t = ⌊time⌋ + 1`` (unit-rate Poisson clocks make one unit
+  of simulated time the async analogue of one round). A dead node does
+  not activate (no training, no gossip, its activation counter pauses)
+  and is never chosen as a gossip partner; an alive node whose entire
+  neighborhood is down trains normally but skips the gossip step.
+* **Battery budgets** — with ``enforce_budgets=True`` the engine stops
+  a node from training once its τᵢ budget
+  (:attr:`~repro.energy.traces.EnergyTrace.budget_rounds`) is spent,
+  regardless of the policy (engine-level battery depletion; the
+  constrained policy additionally rations its coin flips).
+
+Randomness is split across three independent streams so trajectories
+never depend on observation choices: the event stream (Poisson clocks +
+partner choice), the evaluation stream (node subsampling — changing
+``eval_every`` or ``eval_node_sample`` cannot alter the trajectory),
+and each node's batch stream. All of them — plus the event heap,
+counters, and policy state — round-trip through
+:meth:`AsyncGossipEngine.state_dict`, so a killed run restored via
+:func:`~repro.simulation.checkpoint.load_async_run_checkpoint`
+continues bit-for-bit from any event boundary.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -33,6 +58,10 @@ from ..nn.optim import SGD
 from ..nn.serialization import parameter_vector, set_parameter_vector
 from .metrics import consensus_distance, evaluate_state
 from .node import Node
+from .rng import generator_state, restore_generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .failures import FailureModel
 
 __all__ = [
     "AsyncPolicy",
@@ -45,6 +74,24 @@ __all__ = [
 ]
 
 
+def _spawn_child(rng: np.random.Generator) -> np.random.Generator:
+    """A child generator off ``rng``'s seed sequence. Spawning never
+    advances the parent's bit stream; falls back to the seed-sequence
+    API on NumPy < 1.25 (no ``Generator.spawn``)."""
+    try:
+        return rng.spawn(1)[0]
+    except AttributeError:
+        seed_seq = getattr(rng.bit_generator, "seed_seq", None) or getattr(
+            rng.bit_generator, "_seed_seq", None
+        )
+        if seed_seq is None:
+            raise ValueError(
+                "cannot derive a default eval_rng from a generator "
+                "without a seed sequence; pass eval_rng explicitly"
+            ) from None
+        return np.random.Generator(type(rng.bit_generator)(seed_seq.spawn(1)[0]))
+
+
 class AsyncPolicy:
     """Decides, per activation, whether the activating node trains."""
 
@@ -54,6 +101,17 @@ class AsyncPolicy:
         """``activation_index`` is the node's own 1-based activation
         counter — a purely local quantity."""
         raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """JSON-serializable mid-run state (stateless policies: empty)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state:
+            raise ValueError(
+                f"policy {self.name!r} is stateless but the checkpoint "
+                f"carries state keys {sorted(state)}"
+            )
 
 
 class AsyncDPSGD(AsyncPolicy):
@@ -115,6 +173,22 @@ class AsyncSkipTrainConstrained(AsyncSkipTrain):
         self.remaining[node_id] -= 1
         return True
 
+    def state_dict(self) -> dict:
+        return {
+            "remaining": self.remaining.tolist(),
+            "rng": generator_state(self.rng),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        remaining = np.asarray(state["remaining"], dtype=np.int64)
+        if remaining.shape != self.remaining.shape:
+            raise ValueError(
+                f"checkpoint has {remaining.shape[0]} budget entries, "
+                f"policy has {self.remaining.shape[0]}"
+            )
+        self.remaining = remaining
+        self.rng = restore_generator(state["rng"])
+
 
 @dataclass(frozen=True)
 class AsyncRecord:
@@ -140,6 +214,11 @@ class AsyncHistory:
             raise ValueError("empty history")
         return self.records[-1].mean_accuracy
 
+    def best_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("empty history")
+        return max(r.mean_accuracy for r in self.records)
+
 
 class AsyncGossipEngine:
     """Event-driven pairwise-gossip simulator.
@@ -157,6 +236,14 @@ class AsyncGossipEngine:
     identically and return bit-equal accuracies. ``"batched"`` forces
     the stacked path (raising for unsupported layers), ``"serial"``
     forces the loop.
+
+    ``eval_rng`` drives evaluation-time node subsampling only. It
+    defaults to a child spawned off ``rng``'s seed sequence — spawning
+    never advances the parent's bit stream, so the gossip/clock
+    trajectory is identical whether or how often the engine evaluates.
+    Pass an explicit generator when wiring the engine from a
+    :class:`~repro.simulation.rng.RngFactory` (restored generators
+    cannot spawn).
     """
 
     def __init__(
@@ -171,6 +258,9 @@ class AsyncGossipEngine:
         trace: EnergyTrace | None = None,
         eval_node_sample: int | None = None,
         eval_mode: str = "auto",
+        eval_rng: np.random.Generator | None = None,
+        failure_model: "FailureModel | None" = None,
+        enforce_budgets: bool = False,
     ) -> None:
         n = len(nodes)
         if n != len(neighbor_lists):
@@ -179,14 +269,23 @@ class AsyncGossipEngine:
             raise ValueError("every node needs at least one neighbor")
         if trace is not None and trace.n_nodes != n:
             raise ValueError("trace node count mismatch")
+        if enforce_budgets and trace is None:
+            raise ValueError("enforce_budgets requires an energy trace")
+        if failure_model is not None and getattr(
+            failure_model, "n_nodes", n
+        ) != n:
+            raise ValueError("failure model node count mismatch")
         self.model = model
         self.nodes = nodes
         self.neighbors = neighbor_lists
         self.test_set = test_set
         self.local_steps = local_steps
         self.rng = rng
+        self.eval_rng = eval_rng if eval_rng is not None else _spawn_child(rng)
         self.trace = trace
         self.eval_node_sample = eval_node_sample
+        self.failure_model = failure_model
+        self.enforce_budgets = enforce_budgets
         self._evaluator = make_evaluator(model, eval_mode)
         self.loss = CrossEntropyLoss()
         self.optimizer = SGD(model.parameters(), lr=learning_rate)
@@ -195,6 +294,9 @@ class AsyncGossipEngine:
         self.activation_counts = np.zeros(n, dtype=np.int64)
         self.train_counts = np.zeros(n, dtype=np.int64)
         self.train_energy_wh = 0.0
+        #: activation heap, owned here (not by ``run``) so mid-run
+        #: checkpoints can capture pending event times
+        self._queue: list[tuple[float, int]] | None = None
 
     @property
     def n_nodes(self) -> int:
@@ -215,11 +317,36 @@ class AsyncGossipEngine:
         if self.trace is not None:
             self.train_energy_wh += self.trace.train_energy_wh[i]
 
-    def _gossip(self, i: int) -> None:
-        j = int(self.rng.choice(self.neighbors[i]))
-        avg = 0.5 * (self.state[i] + self.state[j])
-        self.state[i] = avg
-        self.state[j] = avg
+    def _may_train(self, i: int) -> bool:
+        """Battery gate, checked *before* the policy so an exhausted
+        node consumes no policy randomness."""
+        if not self.enforce_budgets:
+            return True
+        assert self.trace is not None
+        return bool(self.train_counts[i] < self.trace.budget_rounds[i])
+
+    def _gossip(self, i: int, alive: np.ndarray | None = None) -> None:
+        candidates = self.neighbors[i]
+        if alive is not None:
+            candidates = candidates[alive[candidates]]
+            if candidates.size == 0:
+                return  # whole neighborhood down: train-only activation
+        j = int(self.rng.choice(candidates))
+        # In-place pairwise average — the per-event hot path. Same
+        # add-then-halve operation order as ``0.5 * (s_i + s_j)``, so
+        # the result is bit-identical to the allocating form.
+        si, sj = self.state[i], self.state[j]
+        np.add(si, sj, out=si)
+        si *= 0.5
+        sj[:] = si
+
+    def _alive_at(self, time: float) -> np.ndarray | None:
+        """Alive mask for the event at simulated ``time``: unit-rate
+        clocks make ⌊time⌋ + 1 the async analogue of the (1-based)
+        round index the failure models are defined over."""
+        if self.failure_model is None:
+            return None
+        return self.failure_model.alive(int(time) + 1)
 
     def _evaluate(self, time: float, events: int) -> AsyncRecord:
         node_ids = None
@@ -227,7 +354,7 @@ class AsyncGossipEngine:
             self.eval_node_sample is not None
             and self.eval_node_sample < self.n_nodes
         ):
-            node_ids = self.rng.choice(
+            node_ids = self.eval_rng.choice(
                 self.n_nodes, size=self.eval_node_sample, replace=False
             )
         mean_acc, std_acc = evaluate_state(
@@ -243,34 +370,142 @@ class AsyncGossipEngine:
             train_energy_wh=self.train_energy_wh,
         )
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete mid-run snapshot: state matrix, counters, the event
+        heap, and every rng stream (events, evaluation, per-node batch
+        sampling). Restoring it into a freshly constructed engine and
+        continuing with ``run(start_event=...)`` is bit-identical to an
+        uninterrupted run from any event boundary."""
+        if self._queue is None:
+            raise ValueError(
+                "no event state to snapshot yet; state_dict captures a "
+                "run in progress (run() initializes the event heap)"
+            )
+        return {
+            "state": self.state.copy(),
+            "activation_counts": self.activation_counts.copy(),
+            "train_counts": self.train_counts.copy(),
+            "train_energy_wh": float(self.train_energy_wh),
+            "queue_times": np.array([t for t, _ in self._queue],
+                                    dtype=np.float64),
+            "queue_ids": np.array([i for _, i in self._queue],
+                                  dtype=np.int64),
+            "rng": generator_state(self.rng),
+            "eval_rng": generator_state(self.eval_rng),
+            "node_rngs": [generator_state(node.loader.rng)
+                          for node in self.nodes],
+            "node_steps_done": np.array(
+                [node.local_steps_done for node in self.nodes],
+                dtype=np.int64,
+            ),
+        }
+
+    def load_state_dict(self, sd: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place. The engine
+        must have been constructed exactly as for the original run;
+        shape mismatches fail loudly."""
+        state = np.asarray(sd["state"])
+        if state.shape != self.state.shape:
+            raise ValueError(
+                f"snapshot state shape {state.shape} does not match "
+                f"engine {self.state.shape}"
+            )
+        queue_ids = np.asarray(sd["queue_ids"], dtype=np.int64)
+        queue_times = np.asarray(sd["queue_times"], dtype=np.float64)
+        if queue_ids.shape != (self.n_nodes,):
+            raise ValueError(
+                f"snapshot has {queue_ids.shape[0]} pending events, "
+                f"expected one per node ({self.n_nodes})"
+            )
+        node_rngs = sd["node_rngs"]
+        if len(node_rngs) != self.n_nodes:
+            raise ValueError(
+                f"snapshot has {len(node_rngs)} node rng streams, "
+                f"engine has {self.n_nodes} nodes"
+            )
+        self.state[...] = state
+        self.activation_counts[...] = np.asarray(sd["activation_counts"],
+                                                 dtype=np.int64)
+        self.train_counts[...] = np.asarray(sd["train_counts"],
+                                            dtype=np.int64)
+        self.train_energy_wh = float(sd["train_energy_wh"])
+        # A saved heap list restores as-is: list order preserves the
+        # heap invariant.
+        self._queue = [
+            (float(t), int(i)) for t, i in zip(queue_times, queue_ids)
+        ]
+        self.rng = restore_generator(sd["rng"])
+        self.eval_rng = restore_generator(sd["eval_rng"])
+        steps_done = np.asarray(sd["node_steps_done"], dtype=np.int64)
+        for node, rng_state, steps in zip(self.nodes, node_rngs, steps_done):
+            node.loader.rng = restore_generator(rng_state)
+            node.local_steps_done = int(steps)
+
+    # -- public API -----------------------------------------------------------
+
     def run(
         self,
         policy: AsyncPolicy,
         activations_per_node: int,
         eval_every: int | None = None,
+        *,
+        start_event: int = 0,
+        history: AsyncHistory | None = None,
+        event_hook: "Callable[[AsyncGossipEngine, int, AsyncHistory], None] | None" = None,
     ) -> AsyncHistory:
-        """Simulate ``n × activations_per_node`` activation events."""
+        """Simulate ``n × activations_per_node`` activation events.
+
+        Non-zero ``start_event`` resumes a run whose state was restored
+        via :meth:`load_state_dict` (or
+        :func:`~repro.simulation.checkpoint.load_async_run_checkpoint`);
+        ``history`` appends to the interrupted record list. Every event
+        boundary resumes exactly — the evaluation cadence is absolute in
+        the event index and all randomness round-trips — so checkpoints
+        need no alignment with evaluation events. ``event_hook(engine,
+        event, history)`` runs after every completed event; the sweep
+        orchestrator checkpoints from it.
+        """
         if activations_per_node <= 0:
             raise ValueError("activations_per_node must be positive")
         n = self.n_nodes
         total_events = n * activations_per_node
+        if not 0 <= start_event <= total_events:
+            raise ValueError("start_event out of range")
         if eval_every is None:
             eval_every = max(1, total_events // 10)
+        if eval_every <= 0:
+            raise ValueError("eval_every must be positive")
 
-        # Poisson clocks: next activation time per node
-        queue = [
-            (float(self.rng.exponential()), i) for i in range(n)
-        ]
-        heapq.heapify(queue)
+        if start_event == 0:
+            # Poisson clocks: next activation time per node
+            self._queue = [
+                (float(self.rng.exponential()), i) for i in range(n)
+            ]
+            heapq.heapify(self._queue)
+        elif self._queue is None:
+            raise ValueError(
+                "start_event > 0 requires restored engine state "
+                "(load_state_dict)"
+            )
 
-        history = AsyncHistory(policy=policy.name, records=[])
-        for event in range(1, total_events + 1):
-            time, i = heapq.heappop(queue)
-            self.activation_counts[i] += 1
-            if policy.should_train(i, int(self.activation_counts[i])):
-                self._train_node(i)
-            self._gossip(i)
-            heapq.heappush(queue, (time + float(self.rng.exponential()), i))
+        if history is None:
+            history = AsyncHistory(policy=policy.name, records=[])
+        for event in range(start_event + 1, total_events + 1):
+            time, i = heapq.heappop(self._queue)
+            alive = self._alive_at(time)
+            if alive is None or alive[i]:
+                self.activation_counts[i] += 1
+                if self._may_train(i) and policy.should_train(
+                    i, int(self.activation_counts[i])
+                ):
+                    self._train_node(i)
+                self._gossip(i, alive)
+            # dead nodes stay silent but their clock keeps ticking
+            heapq.heappush(self._queue, (time + float(self.rng.exponential()), i))
             if event % eval_every == 0 or event == total_events:
                 history.records.append(self._evaluate(time, event))
+            if event_hook is not None:
+                event_hook(self, event, history)
         return history

@@ -21,6 +21,19 @@ checkpoint behind:
   at an evaluation round — see :meth:`SimulationEngine.run`). Engine
   configurations whose state cannot be fully captured (momentum,
   stochastic compressors, failure models) are rejected at save time.
+* :func:`save_async_run_checkpoint` / :func:`load_async_run_checkpoint`
+  — the same full-snapshot contract for the event-driven
+  :class:`~repro.simulation.async_engine.AsyncGossipEngine`: the state
+  matrix, activation/train counters, the pending-event heap, the
+  event/evaluation/per-node rng streams (via the engine's
+  ``state_dict``), the policy's state (budgets + coin rng for the
+  constrained policy), and the :class:`AsyncHistory` so far. Because
+  the async evaluation cadence is absolute in the event index and
+  every random stream round-trips, a checkpoint taken at *any* event
+  boundary resumes bit-for-bit — no evaluation-alignment caveat.
+  Failure models that hold their own rng (``IndependentCrashes``) are
+  rejected at save time; stateless ones (``CrashWindow``,
+  ``NoFailures``) checkpoint fine.
 """
 
 from __future__ import annotations
@@ -31,6 +44,7 @@ import os
 import numpy as np
 
 from ..core.base import Algorithm
+from .async_engine import AsyncGossipEngine, AsyncHistory, AsyncPolicy, AsyncRecord
 from .engine import SimulationEngine
 from .metrics import RoundRecord, RunHistory
 from .rng import generator_state, restore_generator
@@ -40,6 +54,8 @@ __all__ = [
     "load_checkpoint",
     "save_run_checkpoint",
     "load_run_checkpoint",
+    "save_async_run_checkpoint",
+    "load_async_run_checkpoint",
 ]
 
 
@@ -239,3 +255,129 @@ def load_run_checkpoint(
         history = RunHistory(algorithm=str(archive["history_algorithm"]),
                              records=records)
     return round_index, history
+
+
+# --------------------------------------------------------------------------
+# Async mid-run snapshots (event heap + rng streams + policy + history)
+# --------------------------------------------------------------------------
+
+_ASYNC_HISTORY_FIELDS = (
+    ("time", np.float64),
+    ("activations", np.int64),
+    ("mean_accuracy", np.float64),
+    ("std_accuracy", np.float64),
+    ("consensus", np.float64),
+    ("train_energy_wh", np.float64),
+)
+
+
+def save_async_run_checkpoint(
+    engine: AsyncGossipEngine,
+    policy: AsyncPolicy,
+    history: AsyncHistory,
+    event_index: int,
+    path: str | os.PathLike,
+) -> None:
+    """Persist a complete mid-run snapshot of an async gossip run after
+    ``event_index`` completed events: the engine's
+    :meth:`~repro.simulation.async_engine.AsyncGossipEngine.state_dict`
+    (state matrix, counters, event heap, every rng stream), the
+    policy's state, and the history so far. Any event boundary resumes
+    bit-for-bit.
+
+    Failure models holding their own rng (``IndependentCrashes``)
+    cannot round-trip and are rejected up front; stateless window
+    models are fine.
+    """
+    if event_index < 0:
+        raise ValueError("event_index must be non-negative")
+    if getattr(engine.failure_model, "rng", None) is not None:
+        raise ValueError(
+            "async run checkpoints do not capture failure-model rng "
+            "state; use a stateless failure model (CrashWindow) for "
+            "checkpointed runs"
+        )
+    sd = engine.state_dict()
+    payload = {
+        "state": sd["state"],
+        "event_index": np.array(event_index, dtype=np.int64),
+        "activation_counts": sd["activation_counts"],
+        "train_counts": sd["train_counts"],
+        "train_energy_wh": np.array(sd["train_energy_wh"], dtype=np.float64),
+        "queue_times": sd["queue_times"],
+        "queue_ids": sd["queue_ids"],
+        "event_rng_json": np.array(json.dumps(sd["rng"])),
+        "eval_rng_json": np.array(json.dumps(sd["eval_rng"])),
+        "node_rng_json": np.array(json.dumps(sd["node_rngs"])),
+        "node_steps_done": sd["node_steps_done"],
+        "policy_name": np.array(policy.name),
+        "policy_json": np.array(json.dumps(policy.state_dict())),
+        "history_policy": np.array(history.policy),
+    }
+    for field, dtype in _ASYNC_HISTORY_FIELDS:
+        payload[f"hist_{field}"] = np.array(
+            [getattr(r, field) for r in history.records], dtype=dtype
+        )
+    _atomic_savez(path, payload)
+
+
+def load_async_run_checkpoint(
+    engine: AsyncGossipEngine,
+    policy: AsyncPolicy,
+    path: str | os.PathLike,
+) -> tuple[int, AsyncHistory]:
+    """Restore a :func:`save_async_run_checkpoint` snapshot into
+    ``engine`` and ``policy`` (both in place) and return
+    ``(completed_events, history_so_far)``. Resume with::
+
+        event_index, history = load_async_run_checkpoint(engine, policy, path)
+        engine.run(policy, activations_per_node,
+                   start_event=event_index, history=history)
+
+    ``engine`` and ``policy`` must be freshly constructed exactly as
+    for the original run; name and shape mismatches fail loudly.
+    """
+    with np.load(path) as archive:
+        if "queue_times" not in archive:
+            raise ValueError(
+                "not an async run checkpoint (synchronous checkpoints "
+                "restore via load_run_checkpoint)"
+            )
+        saved_name = str(archive["policy_name"])
+        if saved_name != policy.name:
+            raise ValueError(
+                f"checkpoint was taken with policy {saved_name!r}, "
+                f"got {policy.name!r}"
+            )
+        engine.load_state_dict(
+            {
+                "state": archive["state"],
+                "activation_counts": archive["activation_counts"],
+                "train_counts": archive["train_counts"],
+                "train_energy_wh": float(archive["train_energy_wh"]),
+                "queue_times": archive["queue_times"],
+                "queue_ids": archive["queue_ids"],
+                "rng": json.loads(str(archive["event_rng_json"])),
+                "eval_rng": json.loads(str(archive["eval_rng_json"])),
+                "node_rngs": json.loads(str(archive["node_rng_json"])),
+                "node_steps_done": archive["node_steps_done"],
+            }
+        )
+        policy.load_state_dict(json.loads(str(archive["policy_json"])))
+        records = [
+            AsyncRecord(
+                time=float(time),
+                activations=int(events),
+                mean_accuracy=float(acc),
+                std_accuracy=float(std),
+                consensus=float(cons),
+                train_energy_wh=float(wh),
+            )
+            for time, events, acc, std, cons, wh in zip(
+                *(archive[f"hist_{field}"] for field, _ in _ASYNC_HISTORY_FIELDS)
+            )
+        ]
+        history = AsyncHistory(policy=str(archive["history_policy"]),
+                               records=records)
+        event_index = int(archive["event_index"])
+    return event_index, history

@@ -34,6 +34,7 @@ class NoFailures(FailureModel):
     def __init__(self, n_nodes: int) -> None:
         if n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
+        self.n_nodes = n_nodes
         self._mask = np.ones(n_nodes, dtype=bool)
 
     def alive(self, t: int) -> np.ndarray:
@@ -43,20 +44,29 @@ class NoFailures(FailureModel):
 class IndependentCrashes(FailureModel):
     """Each node is independently down with probability ``p`` each round
     (memoryless churn). Draws are memoized per round so repeated queries
-    within a round are consistent."""
+    within a round are consistent; the memo is bounded to the most
+    recent ``cache_size`` rounds (oldest-key eviction, the same scheme
+    :class:`~repro.topology.dynamic.RandomRegularEachRound` uses) so a
+    million-round run cannot grow one bool array per round forever."""
 
-    def __init__(self, n_nodes: int, p: float, rng: np.random.Generator) -> None:
+    def __init__(self, n_nodes: int, p: float, rng: np.random.Generator,
+                 cache_size: int = 64) -> None:
         if n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
         if not 0.0 <= p < 1.0:
             raise ValueError("p must be in [0, 1)")
+        if cache_size <= 0:
+            raise ValueError("cache_size must be positive")
         self.n_nodes = n_nodes
         self.p = p
         self.rng = rng
+        self.cache_size = cache_size
         self._cache: dict[int, np.ndarray] = {}
 
     def alive(self, t: int) -> np.ndarray:
         if t not in self._cache:
+            if len(self._cache) >= self.cache_size:
+                self._cache.pop(min(self._cache))
             self._cache[t] = self.rng.random(self.n_nodes) >= self.p
         return self._cache[t]
 
@@ -75,11 +85,15 @@ class CrashWindow(FailureModel):
         self.down[list(nodes)] = True
         self.start = start
         self.end = end
+        # precomputed masks: alive() is on the async engine's per-event
+        # hot path, so it must not allocate
+        self._in_window = ~self.down
+        self._all_alive = np.ones(n_nodes, dtype=bool)
 
     def alive(self, t: int) -> np.ndarray:
         if self.start <= t <= self.end:
-            return ~self.down
-        return np.ones(self.n_nodes, dtype=bool)
+            return self._in_window
+        return self._all_alive
 
 
 def masked_mixing(

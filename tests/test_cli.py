@@ -94,6 +94,53 @@ class TestCommands:
         args = build_parser().parse_args(["figure", "1", "--from-artifacts", "r"])
         assert args.from_artifacts == "r"
 
+    def test_async_run_parses_with_defaults(self):
+        args = build_parser().parse_args(["async-run"])
+        assert args.preset == "cifar10-bench-async"
+        assert args.algorithm == "async-skiptrain"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["async-run", "--algorithm", "skiptrain"])
+
+    def test_sweep_kind_flag(self):
+        args = build_parser().parse_args(["sweep", "--kind", "async"])
+        assert args.kind == "async"
+        assert build_parser().parse_args(["sweep"]).kind == "sync"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--kind", "quantum"])
+
+    def test_async_sweep_rejects_vectorized(self, capsys):
+        assert main(["sweep", "--kind", "async",
+                     "--preset", "cifar10-bench-async", "--vectorized",
+                     "--dry-run"]) == 2
+        assert "vectorized" in capsys.readouterr().err
+
+    def test_sweep_kind_algorithm_mismatch_fails_fast(self, capsys):
+        assert main(["sweep", "--kind", "async",
+                     "--preset", "cifar10-bench-async",
+                     "--algorithms", "skiptrain", "--dry-run"]) == 2
+        assert "--kind async supports" in capsys.readouterr().err
+        assert main(["sweep", "--algorithms", "async-skiptrain",
+                     "--dry-run"]) == 2
+        assert "--kind async" in capsys.readouterr().err
+
+    def test_sweep_kind_preset_mismatch_fails_fast(self, capsys):
+        assert main(["sweep", "--kind", "async", "--dry-run"]) == 2
+        assert "-async preset" in capsys.readouterr().err
+        assert main(["sweep", "--preset", "cifar10-bench-async",
+                     "--dry-run"]) == 2
+        assert "--kind async" in capsys.readouterr().err
+
+    def test_async_run_small(self, capsys):
+        code = main([
+            "async-run", "--preset", "cifar10-bench-async", "--degree", "3",
+            "--activations", "4", "--eval-every", "2",
+            "--gamma-train", "2", "--gamma-sync", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total training energy" in out
+        assert "t=" in out and "accuracy" in out
+
 
 class TestArtifactPipeline:
     """End-to-end T1→T2→T3 through the CLI on a seconds-fast preset."""
@@ -161,6 +208,33 @@ class TestArtifactPipeline:
         assert "static" in capsys.readouterr().err
         assert main(["figure", "4", "--from-artifacts", "x"]) == 2
         assert "figure 1" in capsys.readouterr().err
+
+    def test_async_sweep_aggregate(self, tiny_preset, monkeypatch,
+                                   tmp_path, capsys):
+        """The async T1→T2 pipeline through the CLI: resumable sweep,
+        default async algorithms, aggregation over time-keyed cells."""
+        import dataclasses
+
+        from repro.experiments import async_variant
+        from repro.experiments.presets import PRESETS
+
+        preset = async_variant(dataclasses.replace(
+            tiny_preset, name="micro-cli", total_rounds=8, eval_every=2))
+        monkeypatch.setitem(PRESETS, "micro-cli-async", lambda: preset)
+        res = str(tmp_path / "results")
+        argv = ["sweep", "--kind", "async", "--preset", "micro-cli-async",
+                "--seeds", "0", "--results-dir", res,
+                "--checkpoint-every", "2"]
+        assert main(argv) == 0
+        assert "ran 2" in capsys.readouterr().out  # default async algos
+
+        assert main(argv) == 0
+        assert "skipped 2" in capsys.readouterr().out
+
+        assert main(["aggregate", "--results-dir", res]) == 0
+        out = capsys.readouterr().out
+        assert "async-skiptrain" in out and "async-d-psgd" in out
+        assert (tmp_path / "results" / "summary.csv").is_file()
 
     def test_missing_artifacts_reported(self, tmp_path, capsys):
         empty = str(tmp_path)

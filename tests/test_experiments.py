@@ -25,9 +25,23 @@ from repro.experiments.presets import PRESETS
 
 class TestPresets:
     def test_registry_contains_all(self):
-        assert set(PRESETS) == {
+        sync = {
             "cifar10-bench", "femnist-bench", "cifar10-paper", "femnist-paper"
         }
+        assert set(PRESETS) == sync | {f"{name}-async" for name in sync}
+
+    def test_async_variants_share_sync_configuration(self):
+        import dataclasses
+
+        for name in ("cifar10-bench", "femnist-paper"):
+            sync, async_ = get_preset(name), get_preset(f"{name}-async")
+            assert async_.name == f"{name}-async"
+            for field in dataclasses.fields(sync):
+                if field.name in ("name", "model_factory"):
+                    continue  # factories are fresh callables per call
+                assert getattr(async_, field.name) == getattr(
+                    sync, field.name
+                ), field.name
 
     def test_get_preset_unknown(self):
         with pytest.raises(KeyError):

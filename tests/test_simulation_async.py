@@ -1,5 +1,7 @@
 """Asynchronous gossip engine tests (§5.3 extension)."""
 
+import types
+
 import numpy as np
 import pytest
 
@@ -13,6 +15,7 @@ from repro.simulation import (
     AsyncGossipEngine,
     AsyncSkipTrain,
     AsyncSkipTrainConstrained,
+    CrashWindow,
     RngFactory,
     build_nodes,
 )
@@ -23,20 +26,26 @@ SPEC = SyntheticSpec(num_classes=4, channels=1, image_size=4,
                      noise_std=1.0, jitter_std=0.3, prototype_resolution=2)
 
 
-def make_engine(seed=0, with_trace=True):
+def make_engine(seed=0, with_trace=True, n=N, eval_node_sample=None,
+                failure_model=None, enforce_budgets=False, degree=3,
+                battery_fraction=0.1):
     rngs = RngFactory(seed)
-    train, protos = make_classification_images(SPEC, 400, rngs.stream("data"))
+    train, protos = make_classification_images(SPEC, 50 * n,
+                                               rngs.stream("data"))
     test, _ = make_classification_images(SPEC, 100, rngs.stream("test"),
                                          prototypes=protos)
-    parts = shard_partition(train.y, N, rng=rngs.stream("partition"))
+    parts = shard_partition(train.y, n, rng=rngs.stream("partition"))
     nodes = build_nodes(train, parts, 8, rngs)
-    graph = regular_graph(N, 3, seed=0)
+    graph = regular_graph(n, degree, seed=0)
     model = small_mlp(16, 4, hidden=8, rng=rngs.stream("model"))
-    trace = build_trace(N, CIFAR10_WORKLOAD, 0.1) if with_trace else None
+    trace = (build_trace(n, CIFAR10_WORKLOAD, battery_fraction)
+             if with_trace else None)
     return AsyncGossipEngine(
         model, nodes, neighbor_lists(graph), test,
         local_steps=2, learning_rate=0.2, rng=rngs.stream("events"),
-        trace=trace,
+        trace=trace, eval_node_sample=eval_node_sample,
+        eval_rng=rngs.stream("async-eval"),
+        failure_model=failure_model, enforce_budgets=enforce_budgets,
     )
 
 
@@ -127,3 +136,217 @@ class TestAsyncPolicies:
                             activations_per_node=32)
         assert e_skip.train_energy_wh < 0.6 * e_dpsgd.train_energy_wh
         assert h_skip.final_accuracy() > h_dpsgd.final_accuracy() - 0.1
+
+
+class TestEvalRngIsolation:
+    """Regression: evaluation node sampling used to draw from the event
+    rng, so changing ``eval_every`` silently changed the trajectory."""
+
+    def test_trajectory_independent_of_eval_cadence(self):
+        total = N * 16
+        dense = make_engine(seed=9, eval_node_sample=4)
+        dense.run(AsyncDPSGD(), activations_per_node=16, eval_every=1)
+        sparse = make_engine(seed=9, eval_node_sample=4)
+        sparse.run(AsyncDPSGD(), activations_per_node=16, eval_every=total)
+        np.testing.assert_array_equal(dense.state, sparse.state)
+        np.testing.assert_array_equal(dense.train_counts,
+                                      sparse.train_counts)
+
+    def test_eval_sample_size_does_not_change_trajectory(self):
+        sampled = make_engine(seed=9, eval_node_sample=2)
+        sampled.run(AsyncDPSGD(), activations_per_node=16, eval_every=8)
+        full = make_engine(seed=9, eval_node_sample=None)
+        full.run(AsyncDPSGD(), activations_per_node=16, eval_every=8)
+        np.testing.assert_array_equal(sampled.state, full.state)
+
+    def test_default_eval_rng_spawned_off_event_stream(self):
+        rngs = RngFactory(3)
+        eng = make_engine(seed=3)
+        # explicit factory stream was passed; a spawned default also works
+        eng2 = AsyncGossipEngine(
+            eng.model, eng.nodes, eng.neighbors, eng.test_set,
+            local_steps=2, learning_rate=0.2, rng=rngs.stream("events"),
+        )
+        assert eng2.eval_rng is not eng2.rng
+
+
+class TestGossipInPlace:
+    def test_bit_identical_to_allocating_average_at_n64(self):
+        """The in-place hot path must match ``0.5 * (s_i + s_j)`` bit
+        for bit — checked at n=64 over a full run."""
+
+        def old_gossip(self, i, alive=None):
+            candidates = self.neighbors[i]
+            if alive is not None:
+                candidates = candidates[alive[candidates]]
+                if candidates.size == 0:
+                    return
+            j = int(self.rng.choice(candidates))
+            avg = 0.5 * (self.state[i] + self.state[j])
+            self.state[i] = avg
+            self.state[j] = avg
+
+        fast = make_engine(seed=5, n=64, degree=4)
+        slow = make_engine(seed=5, n=64, degree=4)
+        slow._gossip = types.MethodType(old_gossip, slow)
+        h_fast = fast.run(AsyncDPSGD(), activations_per_node=4)
+        h_slow = slow.run(AsyncDPSGD(), activations_per_node=4)
+        np.testing.assert_array_equal(fast.state, slow.state)
+        assert h_fast.records == h_slow.records
+
+
+class TestAsyncFailures:
+    def test_dead_node_fully_silent_during_window(self):
+        """A node down under CrashWindow never trains, never initiates,
+        and is never chosen as a gossip partner — its state row stays
+        frozen at the shared initialization."""
+        window = CrashWindow(N, [2], start=1, end=10_000)
+        eng = make_engine(seed=1, failure_model=window)
+        init_row = eng.state[2].copy()
+        eng.run(AsyncDPSGD(), activations_per_node=24)
+        assert eng.activation_counts[2] == 0
+        assert eng.train_counts[2] == 0
+        # frozen row ⇒ no gossip touched it, as initiator or partner
+        np.testing.assert_array_equal(eng.state[2], init_row)
+        assert eng.activation_counts.sum() < N * 24
+        assert (eng.train_counts[np.arange(N) != 2] > 0).all()
+
+    def test_node_rejoins_after_window(self):
+        """Unit-rate clocks: the failure window [start, end] covers
+        simulated time [start-1, end), so a short window ends well
+        before a 24-activation run does and the node rejoins."""
+        window = CrashWindow(N, [2], start=1, end=4)
+        eng = make_engine(seed=1, failure_model=window)
+        init_row = eng.state[2].copy()
+        eng.run(AsyncDPSGD(), activations_per_node=24)
+        assert eng.activation_counts[2] > 0
+        assert not np.array_equal(eng.state[2], init_row)
+
+    def test_whole_neighborhood_down_skips_gossip_only(self):
+        """An alive node whose entire neighborhood is dead still trains
+        but performs no averaging: no dead row moves."""
+        eng_probe = make_engine(seed=1)
+        nbrs_of_0 = set(int(j) for j in eng_probe.neighbors[0])
+        dead = sorted(nbrs_of_0)
+        window = CrashWindow(N, dead, start=1, end=10_000)
+        eng = make_engine(seed=1, failure_model=window)
+        init = eng.state.copy()
+        eng.run(AsyncDPSGD(), activations_per_node=12)
+        for j in dead:
+            np.testing.assert_array_equal(eng.state[j], init[j])
+        assert eng.train_counts[0] > 0  # node 0 kept training
+
+    def test_failure_model_node_count_validated(self):
+        from repro.simulation import NoFailures
+
+        with pytest.raises(ValueError, match="node count"):
+            make_engine(failure_model=CrashWindow(N + 1, [0], 1, 2))
+        with pytest.raises(ValueError, match="node count"):
+            make_engine(failure_model=NoFailures(N - 1))
+
+
+class TestBatteryDepletion:
+    def test_nodes_stop_training_at_budget(self):
+        # fraction chosen so τᵢ ≈ 8–20 rounds binds well below 64
+        eng = make_engine(seed=2, enforce_budgets=True,
+                          battery_fraction=0.003)
+        budgets = eng.trace.budget_rounds
+        assert (budgets < 64).all()
+        eng.run(AsyncDPSGD(), activations_per_node=64)
+        np.testing.assert_array_equal(eng.train_counts, budgets)
+        assert eng.train_counts.sum() < eng.activation_counts.sum()
+
+    def test_depleted_node_keeps_gossiping(self):
+        eng = make_engine(seed=2, enforce_budgets=True,
+                          battery_fraction=0.003)
+        init = eng.state.copy()
+        eng.run(AsyncDPSGD(), activations_per_node=64)
+        # every node's row moved even after depletion (gossip continues)
+        assert all(
+            not np.array_equal(eng.state[i], init[i]) for i in range(N)
+        )
+
+    def test_enforce_budgets_requires_trace(self):
+        with pytest.raises(ValueError, match="trace"):
+            make_engine(with_trace=False, enforce_budgets=True)
+
+
+class TestAsyncStateDict:
+    def test_resume_bit_identical_from_any_event(self):
+        """Snapshot at an arbitrary (non-eval) event boundary, restore
+        into a fresh engine, continue: final state, counters, and
+        records equal the uninterrupted run exactly."""
+        ref = make_engine(seed=7, eval_node_sample=4)
+        h_ref = ref.run(AsyncDPSGD(), activations_per_node=16, eval_every=8)
+
+        snap = {}
+
+        class Stop(Exception):
+            pass
+
+        def snapshot(eng, event, history):
+            if event == 37:  # deliberately not on the eval cadence
+                snap["sd"] = eng.state_dict()
+                snap["records"] = list(history.records)
+                raise Stop
+
+        killed = make_engine(seed=7, eval_node_sample=4)
+        with pytest.raises(Stop):
+            killed.run(AsyncDPSGD(), activations_per_node=16, eval_every=8,
+                       event_hook=snapshot)
+
+        fresh = make_engine(seed=7, eval_node_sample=4)
+        fresh.load_state_dict(snap["sd"])
+        from repro.simulation.async_engine import AsyncHistory
+
+        history = AsyncHistory(policy="async-D-PSGD",
+                               records=snap["records"])
+        h_res = fresh.run(AsyncDPSGD(), activations_per_node=16,
+                          eval_every=8, start_event=37, history=history)
+        np.testing.assert_array_equal(ref.state, fresh.state)
+        assert h_ref.records == h_res.records
+        np.testing.assert_array_equal(ref.activation_counts,
+                                      fresh.activation_counts)
+
+    def test_state_dict_before_run_rejected(self):
+        eng = make_engine()
+        with pytest.raises(ValueError, match="event heap"):
+            eng.state_dict()
+
+    def test_load_rejects_shape_mismatch(self):
+        eng = make_engine(seed=0)
+        eng.run(AsyncDPSGD(), activations_per_node=2)
+        sd = eng.state_dict()
+        sd["state"] = sd["state"][:, :-1]
+        fresh = make_engine(seed=0)
+        with pytest.raises(ValueError, match="shape"):
+            fresh.load_state_dict(sd)
+
+    def test_constrained_policy_state_roundtrip(self):
+        budgets = np.array([2, 3, 100, 0, 2, 3, 100, 0])
+        policy = AsyncSkipTrainConstrained(
+            RoundSchedule(1, 1), budgets, expected_activations=40,
+            rng=np.random.default_rng(0),
+        )
+        policy.rng.random(5)
+        policy.remaining[0] = 1
+        sd = policy.state_dict()
+        clone = AsyncSkipTrainConstrained(
+            RoundSchedule(1, 1), budgets, expected_activations=40,
+            rng=np.random.default_rng(0),
+        )
+        clone.load_state_dict(sd)
+        np.testing.assert_array_equal(policy.remaining, clone.remaining)
+        assert policy.rng.random() == clone.rng.random()
+
+    def test_stateless_policy_rejects_unknown_state(self):
+        with pytest.raises(ValueError, match="stateless"):
+            AsyncDPSGD().load_state_dict({"remaining": [1]})
+        assert AsyncDPSGD().state_dict() == {}
+
+    def test_run_start_event_validation(self):
+        eng = make_engine()
+        with pytest.raises(ValueError, match="start_event"):
+            eng.run(AsyncDPSGD(), activations_per_node=2, start_event=99)
+        with pytest.raises(ValueError, match="restored"):
+            eng.run(AsyncDPSGD(), activations_per_node=2, start_event=1)

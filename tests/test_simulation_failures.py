@@ -44,6 +44,24 @@ class TestFailureModels:
                                       [True, False, True, True, False, True])
         assert model.alive(6).all()
 
+    def test_independent_crashes_cache_bounded(self):
+        """Regression: the per-round memo used to grow one bool array
+        per round forever; it now keeps only the most recent rounds
+        (oldest-key eviction, as RandomRegularEachRound does)."""
+        model = IndependentCrashes(10, 0.3, np.random.default_rng(2),
+                                   cache_size=8)
+        for t in range(1, 1001):
+            model.alive(t)
+        assert len(model._cache) == 8
+        # most recent rounds survive; intra-round queries stay consistent
+        assert min(model._cache) == 993
+        np.testing.assert_array_equal(model.alive(1000), model.alive(1000))
+
+    def test_independent_crashes_cache_size_validated(self):
+        with pytest.raises(ValueError):
+            IndependentCrashes(5, 0.3, np.random.default_rng(0),
+                               cache_size=0)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             IndependentCrashes(5, 1.0, np.random.default_rng(0))

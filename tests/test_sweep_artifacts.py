@@ -43,6 +43,15 @@ def micro_preset(tiny_preset):
     )
 
 
+@pytest.fixture
+def micro_async(micro_preset):
+    """Async twin of the micro preset (12 expected activations per
+    node, sampled evaluation so resume exercises the eval rng)."""
+    from repro.experiments import async_variant
+
+    return async_variant(micro_preset)
+
+
 def lookup_for(preset):
     def lookup(name):
         assert name == preset.name
@@ -253,7 +262,7 @@ class TestArtifactsAndAggregation:
         assert payload["schema"] == "repro/cell-artifact/v1"
         assert payload["cell"] == {
             "preset": "micro", "algorithm": plan[0].algorithm,
-            "degree": 3, "seed": 0, "total_rounds": 12,
+            "degree": 3, "seed": 0, "total_rounds": 12, "kind": "sync",
         }
         assert 0.0 <= payload["results"]["final_accuracy"] <= 1.0
         assert payload["history"]["records"]
@@ -311,3 +320,163 @@ class TestArtifactsAndAggregation:
         result = sweep_result_from_artifacts(results_dir, "micro", 3,
                                              total_rounds=12)
         assert result.cells["skiptrain"].n_seeds == 2
+
+
+class TestAsyncOrchestration:
+    """Async cells ride the same plan → raw artifact → CSV pipeline:
+    resumable, shardable, pool-parallel, and mid-cell-kill safe, all
+    byte-identical to an uninterrupted serial run."""
+
+    ASYNC_ALGOS = ("async-skiptrain", "async-d-psgd",
+                   "async-skiptrain-constrained")
+
+    def test_async_plan_cells_are_marked_and_distinct(self, micro_async):
+        plan = build_plan(micro_async, self.ASYNC_ALGOS, seeds=(0,),
+                          kind="async")
+        assert all(c.kind == "async" for c in plan)
+        assert all(c.cell_id.endswith("__async") for c in plan)
+        sync_twin = build_plan(micro_async, self.ASYNC_ALGOS, seeds=(0,))
+        assert not set(c.cell_id for c in plan) & set(
+            c.cell_id for c in sync_twin
+        )
+
+    def test_bad_kind_rejected(self, micro_async):
+        with pytest.raises(ValueError, match="kind"):
+            build_plan(micro_async, ("async-d-psgd",), seeds=(0,),
+                       kind="quantum")
+
+    def test_async_sweep_skip_shard_jobs_byte_identical(
+        self, micro_async, tmp_path
+    ):
+        plan = build_plan(micro_async, ("async-skiptrain", "async-d-psgd"),
+                          seeds=(0, 1), kind="async")
+        solo, split, pooled = (tmp_path / d for d in ("solo", "split", "pooled"))
+        run_sweep(plan, solo, preset_lookup=lookup_for(micro_async))
+        for index in (1, 2):
+            run_sweep(plan, split, shard=(index, 2),
+                      preset_lookup=lookup_for(micro_async))
+        run_sweep(plan, pooled, jobs=2, preset_lookup=lookup_for(micro_async))
+        for cell in plan:
+            ref = artifact_path(solo, cell).read_bytes()
+            assert artifact_path(split, cell).read_bytes() == ref
+            assert artifact_path(pooled, cell).read_bytes() == ref
+        again = run_sweep(plan, solo, preset_lookup=lookup_for(micro_async))
+        assert not again.ran and len(again.skipped) == len(plan)
+
+    @pytest.mark.parametrize("algorithm", list(ASYNC_ALGOS))
+    def test_async_mid_cell_kill_resumes_bit_identical(
+        self, micro_async, tmp_path, algorithm
+    ):
+        """Kill an async cell at an arbitrary event (not aligned with
+        the eval cadence), rerun, and the final artifact equals an
+        uninterrupted run's byte for byte — event heap, counters,
+        policy state, and every rng stream survive the restart."""
+        cell = build_plan(micro_async, (algorithm,), seeds=(0,),
+                          kind="async")[0]
+        ref, killed = tmp_path / "ref", tmp_path / "killed"
+        run_cell(micro_async, cell, ref, checkpoint_every=2)
+        assert not checkpoint_path(ref, cell).exists()
+
+        class Kill(Exception):
+            pass
+
+        def killer(engine, event, history, last):
+            if event == 51:
+                raise Kill
+
+        with pytest.raises(Kill):
+            run_cell(micro_async, cell, killed, checkpoint_every=2,
+                     round_hook=killer)
+        assert checkpoint_path(killed, cell).is_file()
+        assert not artifact_path(killed, cell).exists()
+
+        _, resumed = run_cell(micro_async, cell, killed, checkpoint_every=2)
+        assert resumed
+        assert not checkpoint_path(killed, cell).exists()
+        assert (artifact_path(killed, cell).read_bytes()
+                == artifact_path(ref, cell).read_bytes())
+
+    def test_async_artifact_is_self_describing(self, micro_async, tmp_path):
+        cell = build_plan(micro_async, ("async-skiptrain",), seeds=(0,),
+                          kind="async")[0]
+        run_cell(micro_async, cell, tmp_path)
+        payload = load_cell_artifact(artifact_path(tmp_path, cell))
+        assert payload["schema"] == "repro/async-cell-artifact/v1"
+        assert payload["cell"] == {
+            "preset": "micro-async", "algorithm": "async-skiptrain",
+            "degree": 3, "seed": 0, "total_rounds": 12, "kind": "async",
+        }
+        records = payload["history"]["records"]
+        assert records, "async artifact must carry time-keyed records"
+        times = [r["time"] for r in records]
+        assert times == sorted(times)
+        assert set(records[0]) == {
+            "time", "activations", "mean_accuracy", "std_accuracy",
+            "consensus", "train_energy_wh",
+        }
+        assert 0.0 <= payload["results"]["final_accuracy"] <= 1.0
+        assert payload["results"]["total_comm_wh"] == 0.0
+
+    def test_async_cells_aggregate_alongside_sync(
+        self, micro_preset, micro_async, tmp_path
+    ):
+        sync_plan = build_plan(micro_preset, ("skiptrain",), seeds=(0, 1))
+        async_plan = build_plan(micro_async, ("async-skiptrain",),
+                                seeds=(0, 1), kind="async")
+        run_sweep(sync_plan, tmp_path, preset_lookup=lookup_for(micro_preset))
+        run_sweep(async_plan, tmp_path, preset_lookup=lookup_for(micro_async))
+        rows, gaps = aggregate_results(tmp_path)
+        assert [(r.preset, r.algorithm, r.n_seeds) for r in rows] == [
+            ("micro", "skiptrain", 2),
+            ("micro-async", "async-skiptrain", 2),
+        ]
+        assert not gaps
+        csv_path = write_summary_csv(rows, tmp_path / "summary.csv")
+        from repro.experiments import read_summary_csv
+
+        assert [r.algorithm for r in read_summary_csv(csv_path)] == [
+            "skiptrain", "async-skiptrain",
+        ]
+
+    def test_async_eval_cadence_does_not_change_results(
+        self, micro_async, tmp_path
+    ):
+        """Orchestration-level regression for the eval/event rng split:
+        the same async cell run at a different evaluation cadence ends
+        at the exact same final accuracy and energy (all-node
+        evaluation: with node sampling, the final *measurement* draws a
+        different node subset, but the trajectory itself — engine state
+        and energy — is cadence-independent either way; the engine-level
+        test pins the state)."""
+        full_eval = dataclasses.replace(micro_async, eval_node_sample=None)
+        dense = dataclasses.replace(full_eval, eval_every=1)
+        cell = build_plan(full_eval, ("async-d-psgd",), seeds=(0,),
+                          kind="async")[0]
+        run_cell(full_eval, cell, tmp_path / "sparse")
+        run_cell(dense, cell, tmp_path / "dense")
+        a = load_cell_artifact(artifact_path(tmp_path / "sparse", cell))
+        b = load_cell_artifact(artifact_path(tmp_path / "dense", cell))
+        assert a["results"] == b["results"]
+        assert len(b["history"]["records"]) > len(a["history"]["records"])
+
+    def test_async_rejects_vectorized(self, micro_async, tmp_path):
+        cell = build_plan(micro_async, ("async-skiptrain",), seeds=(0,),
+                          kind="async")[0]
+        with pytest.raises(ValueError, match="vectorized"):
+            run_cell(micro_async, cell, tmp_path, vectorized=True)
+
+    def test_result_from_artifact_guards_async_schema(
+        self, micro_async, tmp_path
+    ):
+        from repro.experiments import async_history_from_artifact
+        from repro.experiments.artifacts import result_from_artifact
+
+        cell = build_plan(micro_async, ("async-skiptrain",), seeds=(0,),
+                          kind="async")[0]
+        run_cell(micro_async, cell, tmp_path)
+        payload = load_cell_artifact(artifact_path(tmp_path, cell))
+        with pytest.raises(ValueError, match="async"):
+            result_from_artifact(payload)
+        history = async_history_from_artifact(payload)
+        assert history.policy == "async-SkipTrain"
+        assert history.final_accuracy() == payload["results"]["final_accuracy"]
