@@ -35,6 +35,17 @@ by simulated time, resumable/shardable/parallel exactly like sync)::
         --algorithms async-skiptrain async-d-psgd --degrees 3 --seeds 0 1 2 \\
         --results-dir results --checkpoint-every 16 --jobs 2
     python -m repro aggregate --results-dir results
+
+Declarative scenarios (named compositions of topology, churn,
+failures, energy and data skew) plug into both the one-shot runner and
+the sweep pipeline::
+
+    python -m repro scenario list
+    python -m repro scenario show churn-crash
+    python -m repro scenario run churn-ramp --seed 1
+    python -m repro scenario trace churn-async      # golden-trace JSON
+    python -m repro sweep --scenario churn-async --seeds 0 1 2 \\
+        --results-dir results --checkpoint-every 4
 """
 
 from __future__ import annotations
@@ -127,15 +138,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_fair.add_argument("--degree", type=int, default=None)
     p_fair.add_argument("--seed", type=int, default=0)
 
+    p_scn = sub.add_parser(
+        "scenario",
+        help="declarative scenarios: list/show/run/trace named "
+             "compositions of topology, churn, failures, energy and "
+             "data skew",
+    )
+    scn_sub = p_scn.add_subparsers(dest="scenario_command", required=True)
+    scn_sub.add_parser("list", help="list registered scenarios")
+    p_scn_show = scn_sub.add_parser("show",
+                                    help="print one scenario's JSON spec")
+    p_scn_show.add_argument("name")
+    p_scn_run = scn_sub.add_parser(
+        "run", help="compile and run one scenario end-to-end"
+    )
+    p_scn_run.add_argument("name")
+    p_scn_run.add_argument("--seed", type=int, default=None,
+                           help="override the spec's seed")
+    p_scn_run.add_argument("--rounds", type=int, default=None,
+                           help="override the spec's total rounds "
+                                "(async: expected activations per node)")
+    p_scn_run.add_argument("--vectorized", action="store_true",
+                           help="run sync scenarios on the batched "
+                                "multi-node engine")
+    p_scn_trace = scn_sub.add_parser(
+        "trace",
+        help="run one scenario and print its golden regression trace "
+             "(final-state digest + eval curve) as JSON",
+    )
+    p_scn_trace.add_argument("name")
+    p_scn_trace.add_argument("--seed", type=int, default=None)
+    p_scn_trace.add_argument("--rounds", type=int, default=None)
+
     p_sweep = sub.add_parser(
         "sweep",
         help="execute a (preset, algorithm, degree, seed) plan shard, "
              "one JSON artifact per cell (resumable)",
     )
-    p_sweep.add_argument("--preset", default="cifar10-bench")
-    p_sweep.add_argument("--kind", choices=["sync", "async"], default="sync",
+    p_sweep.add_argument("--preset", default=None,
+                         help="preset name (default: cifar10-bench; "
+                              "mutually exclusive with --scenario)")
+    p_sweep.add_argument("--scenario", default=None, metavar="NAME",
+                         help="sweep a registered scenario over --seeds "
+                              "(preset/algorithm/degree/kind come from "
+                              "the spec)")
+    p_sweep.add_argument("--kind", choices=["sync", "async"], default=None,
                          help="execution backend: synchronous rounds or "
-                              "the event-driven async gossip engine")
+                              "the event-driven async gossip engine "
+                              "(default: sync, or the spec's kind with "
+                              "--scenario)")
     p_sweep.add_argument("--degree", type=int, default=None,
                          help="single degree (alias for --degrees D)")
     p_sweep.add_argument("--degrees", type=int, nargs="+", default=None,
@@ -360,39 +411,36 @@ def _cmd_fairness(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .experiments import (
-        artifact_path,
-        build_plan,
-        get_preset,
-        parse_shard,
-        run_sweep,
-        shard_cells,
-    )
+    from .experiments import build_plan, get_preset, parse_shard
 
-    preset = get_preset(args.preset)
+    if args.scenario is not None:
+        return _cmd_sweep_scenario(args)
+    preset_name = args.preset if args.preset is not None else "cifar10-bench"
+    kind = args.kind if args.kind is not None else "sync"
+    preset = get_preset(preset_name)
     degrees = args.degrees
     if degrees is None and args.degree is not None:
         degrees = [args.degree]
     algorithms = args.algorithms
     if algorithms is None:
         algorithms = (
-            ["async-skiptrain", "async-d-psgd"] if args.kind == "async"
+            ["async-skiptrain", "async-d-psgd"] if kind == "async"
             else ["skiptrain", "d-psgd"]
         )
     # fail fast on kind/preset/algorithm mismatches instead of a
     # KeyError deep inside the first cell (possibly in a pool worker)
     from .experiments import ASYNC_ALGORITHMS, ASYNC_PRESETS
 
-    if args.kind == "async" and not args.preset.endswith("-async"):
+    if kind == "async" and not preset_name.endswith("-async"):
         print(f"error: --kind async expects an -async preset so sync and "
               f"async artifacts never share a summary group; built-in "
               f"async presets: {list(ASYNC_PRESETS)}", file=sys.stderr)
         return 2
-    if args.kind == "sync" and args.preset.endswith("-async"):
-        print(f"error: preset {args.preset!r} is an async preset; add "
+    if kind == "sync" and preset_name.endswith("-async"):
+        print(f"error: preset {preset_name!r} is an async preset; add "
               f"--kind async", file=sys.stderr)
         return 2
-    if args.kind == "async":
+    if kind == "async":
         unknown = [a for a in algorithms if a.lower() not in ASYNC_ALGORITHMS]
         if unknown:
             print(f"error: --kind async supports algorithms "
@@ -406,7 +454,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"error: {async_named} run on the async engine; add "
                   f"--kind async", file=sys.stderr)
             return 2
-    if args.kind == "async" and args.vectorized:
+    if kind == "async" and args.vectorized:
         print("error: async cells have no vectorized engine; drop "
               "--vectorized for --kind async", file=sys.stderr)
         return 2
@@ -418,11 +466,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             degrees=degrees,
             seeds=tuple(args.seeds),
             total_rounds=args.rounds,
-            kind=args.kind,
+            kind=kind,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    return _execute_sweep_plan(args, plan, shard)
+
+
+def _execute_sweep_plan(args: argparse.Namespace, plan, shard,
+                        label: str = "") -> int:
+    """The shared tail of both sweep paths (plain and ``--scenario``):
+    dry-run listing, jobs validation, execution, and the run summary."""
+    from .experiments import artifact_path, run_sweep, shard_cells
+
     if args.dry_run:
         selected = shard_cells(plan, *shard)
         for cell in selected:
@@ -443,10 +500,144 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         log=print,
     )
-    print(f"shard {args.shard}: ran {len(stats.ran)} "
+    print(f"{label}shard {args.shard}: ran {len(stats.ran)} "
           f"({len(stats.resumed)} resumed mid-cell), "
           f"skipped {len(stats.skipped)} already-complete cells; "
           f"artifacts under {args.results_dir}/raw")
+    return 0
+
+
+def _cmd_sweep_scenario(args: argparse.Namespace) -> int:
+    """The ``sweep --scenario`` path: one registered scenario swept
+    over ``--seeds`` through the same shard/jobs/checkpoint pipeline."""
+    from .experiments import parse_shard
+    from .scenarios import get_scenario
+    from .scenarios.compile import build_scenario_plan, validate_composition
+
+    conflicting = {
+        "--preset": args.preset is not None,
+        "--algorithms": args.algorithms is not None,
+        "--degree/--degrees": args.degree is not None
+        or args.degrees is not None,
+    }
+    bad = [flag for flag, given in conflicting.items() if given]
+    if bad:
+        print(f"error: {', '.join(bad)} conflict with --scenario (the "
+              f"spec fixes preset, algorithm and degree)", file=sys.stderr)
+        return 2
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.kind is not None and args.kind != spec.kind:
+        # --kind defaults to None under --scenario (the spec decides);
+        # any explicit contradictory value — sync or async — errors
+        print(f"error: scenario {spec.name!r} compiles to kind "
+              f"{spec.kind!r}; drop --kind {args.kind}", file=sys.stderr)
+        return 2
+    if spec.kind == "async" and args.vectorized:
+        print("error: async scenarios have no vectorized engine; drop "
+              "--vectorized", file=sys.stderr)
+        return 2
+    if args.checkpoint_every > 0 and spec.failures.kind == "independent":
+        print(f"error: scenario {spec.name!r} uses rng-backed "
+              f'"independent" failures, which run checkpoints cannot '
+              f"capture; drop --checkpoint-every or use a scenario with "
+              f'a deterministic "window" failure model', file=sys.stderr)
+        return 2
+    try:
+        # full composition rules (async × dynamic topology, churn ×
+        # allreduce, ...) checked before any cell starts, mirroring the
+        # plain sweep path's fail-fast validation
+        validate_composition(spec)
+        shard = parse_shard(args.shard)
+        plan = build_scenario_plan(
+            spec, seeds=tuple(args.seeds), total_rounds=args.rounds
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _execute_sweep_plan(args, plan, shard,
+                               label=f"scenario {spec.name!r} ")
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .scenarios import available_scenarios, get_scenario
+
+    if args.scenario_command == "list":
+        for name in available_scenarios():
+            spec = get_scenario(name)
+            axes = []
+            if spec.churn.active:
+                axes.append("churn")
+            if spec.failures.active:
+                axes.append(f"failures:{spec.failures.kind}")
+            if spec.topology.is_dynamic:
+                axes.append(spec.topology.kind)
+            if spec.energy.enforce_budgets:
+                axes.append("budgets")
+            if spec.data.partition:
+                axes.append(f"data:{spec.data.partition}")
+            extra = f" [{', '.join(axes)}]" if axes else ""
+            print(f"{name:24s} preset={spec.preset:24s} "
+                  f"algorithm={spec.algorithm.name} kind={spec.kind}{extra}")
+        return 0
+
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.scenario_command == "show":
+        print(spec.to_json(indent=1))
+        return 0
+
+    if args.scenario_command == "trace":
+        import json as _json
+
+        from .scenarios.compile import scenario_trace
+
+        try:
+            trace = scenario_trace(spec, seed=args.seed,
+                                   total_rounds=args.rounds)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(_json.dumps(trace, indent=1))
+        return 0
+
+    # scenario run
+    from .scenarios.compile import compile_run
+
+    try:
+        compiled = compile_run(
+            spec, seed=args.seed, total_rounds=args.rounds,
+            vectorized=args.vectorized,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = compiled.execute()
+    print(f"scenario={spec.name} preset={spec.preset} "
+          f"algorithm={spec.algorithm.name} kind={compiled.kind} "
+          f"seed={compiled.seed} rounds={compiled.total_rounds}")
+    if compiled.kind == "sync":
+        for record in result.history.records:
+            print(f"round {record.round:5d}: "
+                  f"accuracy {record.mean_accuracy * 100:6.2f}% "
+                  f"(±{record.std_accuracy * 100:5.2f}) "
+                  f"energy {record.cumulative_energy_wh:8.2f} Wh")
+        print(f"total training energy: {result.meter.total_train_wh:.2f} Wh, "
+              f"communication: {result.meter.total_comm_wh:.4f} Wh")
+    else:
+        for record in result.history.records:
+            print(f"t={record.time:8.2f} (event {record.activations:7d}): "
+                  f"accuracy {record.mean_accuracy * 100:6.2f}% "
+                  f"(±{record.std_accuracy * 100:5.2f}) "
+                  f"train energy {record.train_energy_wh:8.2f} Wh")
+        print(f"total training energy: {result.train_energy_wh:.2f} Wh")
     return 0
 
 
@@ -464,8 +655,11 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
     print(render_summary_rows(rows))
     print(f"\nwrote {out}")
     for key, missing in gaps.items():
-        preset, algorithm, degree, rounds = key
-        print(f"warning: {preset}/{algorithm}/deg{degree}/r{rounds} is "
+        preset, algorithm, scenario, degree, rounds = key
+        where = f"{preset}/{algorithm}"
+        if scenario:
+            where += f"/scn-{scenario}"
+        print(f"warning: {where}/deg{degree}/r{rounds} is "
               f"missing seeds {missing} (partial sweep — means not "
               f"directly comparable)", file=sys.stderr)
     return 0
@@ -497,6 +691,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_gridsearch(args)
     if args.command == "fairness":
         return _cmd_fairness(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "aggregate":

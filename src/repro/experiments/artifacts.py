@@ -94,6 +94,13 @@ class PlanCell:
     :class:`~repro.simulation.async_engine.AsyncGossipEngine` — for
     async cells ``total_rounds`` means *expected activations per node*
     and the artifact's records are keyed by simulated time.
+
+    ``scenario`` (empty for plain cells) references a registered
+    :class:`~repro.scenarios.spec.ScenarioSpec` by name: the cell is
+    then compiled through :func:`repro.scenarios.compile_run` with the
+    cell's seed/rounds, its ``preset``/``algorithm``/``degree`` fields
+    record the spec's resolved coordinates, and the name lands in the
+    raw artifact header so a results directory is self-describing.
     """
 
     preset: str
@@ -102,6 +109,7 @@ class PlanCell:
     seed: int
     total_rounds: int
     kind: str = "sync"
+    scenario: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in _KIND_SCHEMAS:
@@ -109,13 +117,19 @@ class PlanCell:
                 f"kind must be one of {sorted(_KIND_SCHEMAS)}, "
                 f"got {self.kind!r}"
             )
+        if "__" in self.scenario or "/" in self.scenario:
+            raise ValueError(
+                f'scenario names may not contain "__" or "/", '
+                f"got {self.scenario!r}"
+            )
 
     @property
     def cell_id(self) -> str:
+        scn = f"__scn-{self.scenario}" if self.scenario else ""
         suffix = "" if self.kind == "sync" else f"__{self.kind}"
         return (
             f"{self.preset}__{self.algorithm}__deg{self.degree}"
-            f"__seed{self.seed}__r{self.total_rounds}{suffix}"
+            f"__seed{self.seed}__r{self.total_rounds}{scn}{suffix}"
         )
 
 
@@ -238,6 +252,7 @@ def _cell_to_json(cell: PlanCell) -> dict:
         "seed": cell.seed,
         "total_rounds": cell.total_rounds,
         "kind": cell.kind,
+        "scenario": cell.scenario,
     }
 
 
@@ -476,6 +491,7 @@ def resolve_cell(
 SUMMARY_COLUMNS = (
     "preset",
     "algorithm",
+    "scenario",
     "degree",
     "total_rounds",
     "n_seeds",
@@ -493,10 +509,14 @@ SUMMARY_COLUMNS = (
 
 @dataclass(frozen=True)
 class SummaryRow:
-    """One aggregated (preset, algorithm, degree) group."""
+    """One aggregated (preset, algorithm, scenario, degree) group.
+    ``scenario`` is empty for plain cells — a scenario's cells never
+    share a group with the plain cells of the same preset/algorithm,
+    so churn/failure compositions cannot contaminate baseline means."""
 
     preset: str
     algorithm: str
+    scenario: str
     degree: int
     total_rounds: int
     seeds: tuple[int, ...]
@@ -531,13 +551,14 @@ def aggregate_results(
         key=lambda a: (
             a["cell"]["preset"],
             a["cell"]["algorithm"],
+            a["cell"].get("scenario") or "",
             int(a["cell"]["degree"]),
             int(a["cell"]["total_rounds"]),
         ),
     )
     rows = []
     for key in sorted(groups):
-        preset, algorithm, degree, rounds = key
+        preset, algorithm, scenario, degree, rounds = key
         cells = sorted(groups[key], key=lambda a: int(a["cell"]["seed"]))
         seeds = tuple(int(a["cell"]["seed"]) for a in cells)
         if len(set(seeds)) != len(seeds):
@@ -550,6 +571,7 @@ def aggregate_results(
             SummaryRow(
                 preset=preset,
                 algorithm=algorithm,
+                scenario=scenario,
                 degree=degree,
                 total_rounds=rounds,
                 seeds=seeds,
@@ -564,7 +586,8 @@ def aggregate_results(
             )
         )
     gaps = missing_seeds({
-        (r.preset, r.algorithm, r.degree, r.total_rounds): r.seeds for r in rows
+        (r.preset, r.algorithm, r.scenario, r.degree, r.total_rounds): r.seeds
+        for r in rows
     })
     return rows, gaps
 
@@ -585,6 +608,7 @@ def write_summary_csv(
                 [
                     row.preset,
                     row.algorithm,
+                    row.scenario,
                     row.degree,
                     row.total_rounds,
                     row.n_seeds,
@@ -615,6 +639,7 @@ def read_summary_csv(path: str | os.PathLike) -> list[SummaryRow]:
             SummaryRow(
                 preset=rec["preset"],
                 algorithm=rec["algorithm"],
+                scenario=rec["scenario"],
                 degree=int(rec["degree"]),
                 total_rounds=int(rec["total_rounds"]),
                 seeds=tuple(

@@ -45,7 +45,8 @@ def render_summary_rows(rows) -> str:
     precision; this prints the comparison columns)."""
     table_rows = [
         [
-            r.preset, r.algorithm, r.degree, r.total_rounds, r.n_seeds,
+            r.preset, r.algorithm, r.scenario or "-", r.degree,
+            r.total_rounds, r.n_seeds,
             f"{r.final_accuracy_mean * 100:.2f} "
             f"±{r.final_accuracy_std * 100:.2f}",
             f"{r.train_wh_mean:.2f}",
@@ -53,7 +54,7 @@ def render_summary_rows(rows) -> str:
         for r in rows
     ]
     return render_table(
-        ["preset", "algorithm", "degree", "rounds", "seeds",
+        ["preset", "algorithm", "scenario", "degree", "rounds", "seeds",
          "accuracy % (mean ± std)", "train Wh (mean)"],
         table_rows,
         title="Aggregated sweep results",

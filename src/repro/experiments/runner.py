@@ -30,7 +30,12 @@ from ..core.greedy import Greedy
 from ..core.schedule import RoundSchedule
 from ..core.skiptrain import SkipTrain, SkipTrainConstrained
 from ..data.dataset import ArrayDataset
-from ..data.partition import shard_partition, writer_partition
+from ..data.partition import (
+    dirichlet_partition,
+    iid_partition,
+    shard_partition,
+    writer_partition,
+)
 from ..data.synthetic import make_classification_images, synthetic_femnist
 from ..energy.accounting import EnergyMeter
 from ..energy.traces import EnergyTrace, build_trace
@@ -121,11 +126,30 @@ def prepare(
     degree: int,
     seed: int = 0,
     total_rounds: int | None = None,
+    partition_override: str | None = None,
+    dirichlet_alpha: float | None = None,
 ) -> PreparedExperiment:
     """Synthesize data, partition it and build the topology/trace for
-    one (preset, degree, seed) cell."""
+    one (preset, degree, seed) cell.
+
+    ``partition_override`` replaces the preset's non-IID structure with
+    ``"iid"`` (uniform control) or ``"dirichlet"`` (Dirichlet(α) label
+    skew, ``dirichlet_alpha`` required) — the data-skew axis of
+    scenario specs. The dataset synthesis is untouched; only the
+    sample→node assignment changes, drawn from the same ``"partition"``
+    rng stream."""
     from ..topology.graphs import regular_graph
     from ..topology.mixing import metropolis_hastings_weights
+
+    if partition_override not in (None, "iid", "dirichlet"):
+        raise ValueError(
+            f'partition_override must be None, "iid" or "dirichlet", '
+            f"got {partition_override!r}"
+        )
+    if partition_override == "dirichlet" and (
+        dirichlet_alpha is None or dirichlet_alpha <= 0
+    ):
+        raise ValueError("dirichlet partition override needs alpha > 0")
 
     rngs = RngFactory(seed)
     spec = preset.spec
@@ -137,9 +161,7 @@ def prepare(
         heldout, _ = make_classification_images(
             spec, preset.num_test, rngs.stream("test"), prototypes=protos
         )
-        parts = shard_partition(
-            train.y, preset.n_nodes, rng=rngs.stream("partition")
-        )
+        tags = None
     elif preset.partition == "writer":
         if preset.num_writers is None:
             raise ValueError("writer partition requires num_writers")
@@ -150,9 +172,25 @@ def prepare(
             rngs.stream("data"),
             spec=spec,
         )
-        parts = writer_partition(tags, preset.n_nodes)
     else:
         raise ValueError(f"unknown partition kind {preset.partition!r}")
+
+    if partition_override == "iid":
+        parts = iid_partition(
+            len(train), preset.n_nodes, rng=rngs.stream("partition")
+        )
+    elif partition_override == "dirichlet":
+        parts = dirichlet_partition(
+            train.y, preset.n_nodes, dirichlet_alpha,
+            rng=rngs.stream("partition"),
+        )
+    elif preset.partition == "shard":
+        parts = shard_partition(
+            train.y, preset.n_nodes, rng=rngs.stream("partition")
+        )
+    else:
+        assert tags is not None
+        parts = writer_partition(tags, preset.n_nodes)
 
     # §4.2: validation = 50 % of the held-out samples, disjoint from test
     validation, test = heldout.split(0.5, rngs.stream("val-split"))
@@ -205,6 +243,20 @@ def _make_algorithm(
     raise KeyError(f"unknown algorithm {name!r}")
 
 
+def _wire_model_nodes(prepared: PreparedExperiment, rngs: RngFactory):
+    """The wiring both engines share: the model drawn from the
+    ``"model"`` stream and one node (with its own batch stream) per
+    partition cell. The single home of this plumbing — sync and async
+    cells of one prepared experiment start from bit-identical models
+    and data loaders."""
+    preset = prepared.preset
+    model = preset.model_factory(rngs.stream("model"))
+    nodes = build_nodes(
+        prepared.train, prepared.partition, preset.batch_size, rngs
+    )
+    return model, nodes
+
+
 def build_run(
     prepared: PreparedExperiment,
     algorithm: str | Algorithm,
@@ -214,6 +266,9 @@ def build_run(
     eval_on: str = "test",
     vectorized: bool = False,
     eval_mode: str = "auto",
+    mixing=None,
+    failure_model: "FailureModel | None" = None,
+    churn=None,
 ) -> tuple[SimulationEngine, Algorithm]:
     """Wire the (engine, algorithm) pair for one cell without running.
 
@@ -224,6 +279,13 @@ def build_run(
     evaluation implementation (``"auto"`` follows ``vectorized``; both
     paths return bit-identical accuracies, so artifacts never depend on
     the choice).
+
+    The scenario axes ride through here: ``mixing`` overrides the
+    prepared static matrix with a per-round provider (dynamic
+    topologies, churn/failure-masked subgraphs), ``failure_model``
+    injects transient outages, and ``churn`` a
+    :class:`~repro.scenarios.churn.ChurnSchedule` — all three default
+    off, leaving non-scenario cells byte-identical to before.
     """
     if eval_on not in ("test", "validation"):
         raise ValueError('eval_on must be "test" or "validation"')
@@ -239,19 +301,18 @@ def build_run(
         vectorized=vectorized,
         eval_mode=eval_mode,
     )
-    model = preset.model_factory(rngs.stream("model"))
-    nodes = build_nodes(
-        prepared.train, prepared.partition, preset.batch_size, rngs
-    )
+    model, nodes = _wire_model_nodes(prepared, rngs)
     meter = EnergyMeter(prepared.trace)
     engine = SimulationEngine(
         model,
         nodes,
-        prepared.mixing,
+        mixing if mixing is not None else prepared.mixing,
         cfg,
         prepared.test if eval_on == "test" else prepared.validation,
         meter=meter,
         eval_rng=rngs.stream("eval"),
+        failure_model=failure_model,
+        churn=churn,
     )
     if isinstance(algorithm, str):
         algo = _make_algorithm(algorithm, prepared, schedule, rounds, rngs)
@@ -350,6 +411,7 @@ def build_async_run(
     eval_mode: str = "auto",
     failure_model: "FailureModel | None" = None,
     enforce_budgets: bool = False,
+    churn=None,
 ) -> tuple[AsyncGossipEngine, AsyncPolicy]:
     """Wire the (engine, policy) pair for one async cell without
     running it.
@@ -377,10 +439,7 @@ def build_async_run(
     if activations <= 0:
         raise ValueError("activations_per_node must be positive")
     graph = regular_graph(preset.n_nodes, prepared.degree, seed=prepared.seed)
-    model = preset.model_factory(rngs.stream("model"))
-    nodes = build_nodes(
-        prepared.train, prepared.partition, preset.batch_size, rngs
-    )
+    model, nodes = _wire_model_nodes(prepared, rngs)
     engine = AsyncGossipEngine(
         model,
         nodes,
@@ -395,6 +454,7 @@ def build_async_run(
         eval_rng=rngs.stream("async-eval"),
         failure_model=failure_model,
         enforce_budgets=enforce_budgets,
+        churn=churn,
     )
     if isinstance(algorithm, str):
         policy = _make_async_policy(

@@ -195,6 +195,7 @@ def run_cell(
     checkpoint_every: int = 0,
     vectorized: bool = False,
     round_hook: Callable | None = None,
+    scenario_lookup: Callable | None = None,
 ) -> "tuple[ExperimentResult | AsyncExperimentResult, bool]":
     """Execute one plan cell and write its raw artifact.
 
@@ -215,6 +216,13 @@ def run_cell(
     ``round_hook(engine, event, history, event)`` after every event.
     Async resume is exact from *any* event boundary.
 
+    Cells referencing a scenario (``cell.scenario``) are compiled via
+    :func:`repro.scenarios.compile_run` — churn, failures, dynamic
+    topology, energy and data-skew axes all active — and then ride the
+    exact same checkpoint/resume/artifact path. ``scenario_lookup``
+    overrides the registry lookup (tests inject specs the registry
+    does not know).
+
     Returns ``(result, resumed_from_checkpoint)``.
     """
     if preset.name != cell.preset:
@@ -222,16 +230,26 @@ def run_cell(
             f"cell {cell.cell_id} belongs to preset {cell.preset!r}, "
             f"got {preset.name!r}"
         )
+    if cell.kind == "async" and vectorized:
+        raise ValueError(
+            "async cells have no vectorized engine; drop --vectorized "
+            "for kind=async sweeps"
+        )
+    if cell.scenario:
+        return _run_scenario_cell(
+            preset, cell, results_dir, checkpoint_every=checkpoint_every,
+            vectorized=vectorized, round_hook=round_hook,
+            scenario_lookup=scenario_lookup,
+        )
     if prepared is None:
         prepared = prepare(preset, cell.degree, seed=cell.seed)
     if cell.kind == "async":
-        if vectorized:
-            raise ValueError(
-                "async cells have no vectorized engine; drop --vectorized "
-                "for kind=async sweeps"
-            )
-        return _run_async_cell(
-            preset, cell, results_dir, prepared=prepared,
+        engine, policy = build_async_run(
+            prepared, cell.algorithm, activations_per_node=cell.total_rounds
+        )
+        return _execute_async_cell(
+            engine, policy, cell, results_dir, prepared.trace,
+            eval_every_rounds=preset.eval_every,
             checkpoint_every=checkpoint_every, round_hook=round_hook,
         )
     engine, algo = build_run(
@@ -240,6 +258,93 @@ def run_cell(
         total_rounds=cell.total_rounds,
         vectorized=vectorized,
     )
+    return _execute_sync_cell(
+        engine, algo, cell, results_dir, prepared.trace,
+        checkpoint_every=checkpoint_every, vectorized=vectorized,
+        round_hook=round_hook,
+    )
+
+
+def _run_scenario_cell(
+    preset: ExperimentPreset,
+    cell: PlanCell,
+    results_dir: str | os.PathLike,
+    *,
+    checkpoint_every: int,
+    vectorized: bool,
+    round_hook: Callable | None,
+    scenario_lookup: Callable | None,
+) -> "tuple[ExperimentResult | AsyncExperimentResult, bool]":
+    """The ``cell.scenario`` execution path of :func:`run_cell`:
+    compile the registered spec with the cell's seed/rounds, then run
+    through the shared checkpointed execution helpers. Compilation is
+    deterministic, which is what lets a killed scenario cell rebuild
+    its engine and resume byte-identically."""
+    from ..scenarios.compile import compile_run
+    from ..scenarios.registry import get_scenario
+
+    lookup = scenario_lookup if scenario_lookup is not None else get_scenario
+    spec = lookup(cell.scenario)
+    if checkpoint_every > 0 and spec.failures.kind == "independent":
+        # fail before any training, not rounds in at the first
+        # checkpoint save (the rng-backed failure model cannot
+        # round-trip through checkpoints)
+        raise ValueError(
+            f"scenario {spec.name!r} uses rng-backed "
+            f'"independent" failures, which run checkpoints cannot '
+            f"capture; drop checkpoint_every or switch the scenario to "
+            f'a deterministic "window" failure model'
+        )
+    if spec.preset != cell.preset or spec.algorithm.name != cell.algorithm:
+        raise ValueError(
+            f"cell {cell.cell_id} records preset/algorithm "
+            f"{cell.preset!r}/{cell.algorithm!r} but scenario "
+            f"{spec.name!r} resolves to {spec.preset!r}/"
+            f"{spec.algorithm.name!r} — the registry changed since the "
+            f"plan was built"
+        )
+    compiled = compile_run(
+        spec,
+        kind=cell.kind,
+        seed=cell.seed,
+        total_rounds=cell.total_rounds,
+        preset=preset,
+        vectorized=vectorized,
+    )
+    if compiled.prepared.degree != cell.degree:
+        raise ValueError(
+            f"cell {cell.cell_id} records degree {cell.degree} but "
+            f"scenario {spec.name!r} resolves to degree "
+            f"{compiled.prepared.degree} — the registry changed since "
+            f"the plan was built"
+        )
+    if cell.kind == "async":
+        return _execute_async_cell(
+            compiled.engine, compiled.algorithm, cell, results_dir,
+            compiled.prepared.trace, eval_every_rounds=compiled.eval_every,
+            checkpoint_every=checkpoint_every, round_hook=round_hook,
+        )
+    return _execute_sync_cell(
+        compiled.engine, compiled.algorithm, cell, results_dir,
+        compiled.prepared.trace, checkpoint_every=checkpoint_every,
+        vectorized=vectorized, round_hook=round_hook,
+    )
+
+
+def _execute_sync_cell(
+    engine,
+    algo,
+    cell: PlanCell,
+    results_dir: str | os.PathLike,
+    trace,
+    *,
+    checkpoint_every: int,
+    vectorized: bool,
+    round_hook: Callable | None,
+) -> tuple[ExperimentResult, bool]:
+    """Run a wired sync engine through the checkpointed cell protocol:
+    restore any mid-run checkpoint, run with periodic checkpointing at
+    evaluation rounds, write the artifact, drop the checkpoint."""
     ckpt = checkpoint_path(results_dir, cell)
     start_round, history = 0, None
     resumed = ckpt.is_file()
@@ -265,27 +370,26 @@ def run_cell(
         algo, start_round=start_round, history=history, round_hook=hook
     )
     assert engine.meter is not None
-    result = ExperimentResult(
-        history=history, meter=engine.meter, trace=prepared.trace
-    )
+    result = ExperimentResult(history=history, meter=engine.meter, trace=trace)
     write_cell_artifact(results_dir, cell, result, vectorized=vectorized)
     ckpt.unlink(missing_ok=True)
     return result, resumed
 
 
-def _run_async_cell(
-    preset: ExperimentPreset,
+def _execute_async_cell(
+    engine,
+    policy,
     cell: PlanCell,
     results_dir: str | os.PathLike,
+    trace,
     *,
-    prepared,
+    eval_every_rounds: int,
     checkpoint_every: int,
     round_hook: Callable | None,
 ) -> tuple[AsyncExperimentResult, bool]:
-    """The ``kind="async"`` execution path of :func:`run_cell`."""
-    engine, policy = build_async_run(
-        prepared, cell.algorithm, activations_per_node=cell.total_rounds
-    )
+    """The ``kind="async"`` twin of :func:`_execute_sync_cell` (any
+    event boundary resumes exactly, so checkpoints need no alignment
+    with evaluation events)."""
     n = engine.n_nodes
     total_events = n * cell.total_rounds
     ckpt = checkpoint_path(results_dir, cell)
@@ -312,7 +416,7 @@ def _run_async_cell(
     history = engine.run(
         policy,
         activations_per_node=cell.total_rounds,
-        eval_every=async_eval_cadence(preset.eval_every, n),
+        eval_every=async_eval_cadence(eval_every_rounds, n),
         start_event=start_event,
         history=history,
         event_hook=hook,
@@ -320,7 +424,7 @@ def _run_async_cell(
     result = AsyncExperimentResult(
         history=history,
         train_energy_wh=engine.train_energy_wh,
-        trace=prepared.trace,
+        trace=trace,
     )
     write_async_cell_artifact(results_dir, cell, result)
     ckpt.unlink(missing_ok=True)
@@ -343,7 +447,9 @@ def _run_cell_group(group_index: int) -> list[tuple[PlanCell, bool]]:
     prepared = None
     for cell in ctx["groups"][group_index]:
         preset = ctx["preset_lookup"](cell.preset)
-        if prepared is None:  # one shared preparation per group
+        if prepared is None and not cell.scenario:
+            # one shared preparation per group (scenario cells prepare
+            # inside compile_run — their data axis may differ)
             prepared = prepare(preset, cell.degree, seed=cell.seed)
         _, resumed = run_cell(
             preset,
@@ -353,6 +459,7 @@ def _run_cell_group(group_index: int) -> list[tuple[PlanCell, bool]]:
             checkpoint_every=ctx["checkpoint_every"],
             vectorized=ctx["vectorized"],
             round_hook=ctx["round_hook"],
+            scenario_lookup=ctx["scenario_lookup"],
         )
         out.append((cell, resumed))
     return out
@@ -369,6 +476,7 @@ def run_sweep(
     preset_lookup: Callable[[str], ExperimentPreset] = get_preset,
     log: Callable[[str], None] | None = None,
     round_hook: Callable | None = None,
+    scenario_lookup: Callable | None = None,
 ) -> SweepRunStats:
     """Execute shard ``I/N`` of a plan, artifact-by-artifact.
 
@@ -414,6 +522,7 @@ def run_sweep(
             selected, results_dir, stats, say,
             checkpoint_every=checkpoint_every, vectorized=vectorized,
             jobs=jobs, preset_lookup=preset_lookup, round_hook=round_hook,
+            scenario_lookup=scenario_lookup,
         )
     prep_key, prep_val = None, None
     for pos, cell in enumerate(selected, 1):
@@ -422,18 +531,26 @@ def run_sweep(
             say(f"[{pos}/{len(selected)}] skip {cell.cell_id} (artifact exists)")
             continue
         preset = preset_lookup(cell.preset)
-        key = (cell.preset, cell.degree, cell.seed)
-        if key != prep_key:
-            prep_key, prep_val = key, prepare(preset, cell.degree, seed=cell.seed)
+        if cell.scenario:
+            # scenario cells prepare inside compile_run (their data
+            # axis may override the preset's partition)
+            prep = None
+        else:
+            key = (cell.preset, cell.degree, cell.seed)
+            if key != prep_key:
+                prep_key, prep_val = key, prepare(preset, cell.degree,
+                                                  seed=cell.seed)
+            prep = prep_val
         say(f"[{pos}/{len(selected)}] run  {cell.cell_id}")
         _, resumed = run_cell(
             preset,
             cell,
             results_dir,
-            prepared=prep_val,
+            prepared=prep,
             checkpoint_every=checkpoint_every,
             vectorized=vectorized,
             round_hook=round_hook,
+            scenario_lookup=scenario_lookup,
         )
         stats.ran.append(cell)
         if resumed:
@@ -453,6 +570,7 @@ def _run_sweep_jobs(
     jobs: int,
     preset_lookup: Callable[[str], ExperimentPreset],
     round_hook: Callable | None,
+    scenario_lookup: Callable | None,
 ) -> SweepRunStats:
     """The ``jobs > 1`` execution path: pending cells grouped by
     preparation coordinate, one pool task per group."""
@@ -468,7 +586,9 @@ def _run_sweep_jobs(
         return stats
     groups: dict[tuple, list[PlanCell]] = {}
     for cell in pending:
-        groups.setdefault((cell.preset, cell.degree, cell.seed), []).append(cell)
+        groups.setdefault(
+            (cell.preset, cell.degree, cell.seed, cell.scenario), []
+        ).append(cell)
     group_list = [groups[key] for key in sorted(groups)]
     if _JOB_CTX is not None:
         raise RuntimeError("run_sweep(jobs>1) does not nest")
@@ -479,6 +599,7 @@ def _run_sweep_jobs(
         "vectorized": vectorized,
         "preset_lookup": preset_lookup,
         "round_hook": round_hook,
+        "scenario_lookup": scenario_lookup,
     }
     done = 0
     try:
@@ -518,6 +639,9 @@ def sweep_result_from_artifacts(
         for a in list_cell_artifacts(results_dir)
         if a["cell"]["preset"] == preset_name
         and int(a["cell"]["degree"]) == degree
+        # scenario cells (churn/failure compositions) never enter the
+        # plain preset comparison table
+        and not a["cell"].get("scenario")
     ]
     rounds_present = sorted({int(a["cell"]["total_rounds"]) for a in matching})
     if total_rounds is None and len(rounds_present) > 1:

@@ -130,6 +130,7 @@ def table3_from_artifacts(
     matching = [
         row for row in rows
         if row.preset == preset_name and row.algorithm in wanted
+        and not row.scenario  # scenario compositions are not baselines
     ]
     rounds_present = sorted({row.total_rounds for row in matching})
     if total_rounds is None and len(rounds_present) > 1:

@@ -1,0 +1,191 @@
+"""Node churn: scheduled joins and leaves with state handoff.
+
+Real decentralized fleets are not a fixed membership: phones enroll
+mid-run, disappear for good, or drop out and later re-enroll. The
+failure models in :mod:`repro.simulation.failures` cover *transient*
+outages (a dead node's state is frozen and it resumes where it left
+off); churn is the *membership* axis — a node that has not joined yet
+(or has left) simply is not part of the system: it never trains, never
+communicates, and is never selected as a gossip partner by either
+engine.
+
+The model is a deterministic schedule over the round index, which is
+what keeps scenario cells checkpointable: the membership mask for any
+round is a pure function of ``t``, so a resumed run recomputes it
+instead of carrying hidden state (the async engine only keeps a cursor
+recording through which round join handoffs have been applied — see
+:meth:`~repro.simulation.async_engine.AsyncGossipEngine.state_dict`).
+
+State handoff
+-------------
+A joining node cannot start from the long-stale initialization it was
+constructed with — real systems bootstrap newcomers from their
+neighbors. On a join at round ``t`` the new node's model row is set to
+the **mean of its alive, present neighbors'** rows (veterans only:
+nodes joining in the same round do not seed each other). A joiner whose
+entire neighborhood is down or absent keeps its current row — the
+documented fallback, matching the failure models' freeze semantics.
+A joiner that is *itself* dead at its join round (its enrollment lands
+inside a failure window) likewise receives no handoff: it cannot fetch
+neighbor state while down, so it enrolls with its current row and
+resumes from it when the window ends — identically in both engines.
+Both engines apply the handoff *before* the round's (or activation's)
+training, so a joiner trains on top of the handed-off model.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ChurnSchedule", "apply_join_handoff"]
+
+_ACTIONS = ("join", "leave")
+
+
+class ChurnSchedule:
+    """Deterministic membership schedule over 1-based round indices.
+
+    ``events`` is an iterable of ``(round, node, action)`` triples with
+    ``action`` in ``{"join", "leave"}``; ``initially_absent`` names the
+    nodes that are not members before their first join. An event takes
+    effect *at* its round: a node joining at round ``t`` participates
+    in round ``t`` (after its state handoff), a node leaving at round
+    ``t`` is gone from round ``t`` on.
+
+    The schedule is validated on construction: events must alternate
+    consistently with each node's membership (no joining a present
+    node, no leaving an absent one), two events may not name the same
+    ``(round, node)`` pair, and at least one node must remain present
+    at every point — an empty system has no gossip semantics.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        events: Iterable[tuple[int, int, str]] = (),
+        initially_absent: Sequence[int] = (),
+    ) -> None:
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        self.n_nodes = n_nodes
+        initial = np.ones(n_nodes, dtype=bool)
+        for i in initially_absent:
+            if not 0 <= int(i) < n_nodes:
+                raise ValueError(f"initially_absent node {i} out of range")
+            initial[int(i)] = False
+        self.initially_absent = tuple(sorted(int(i) for i in initially_absent))
+        if len(set(self.initially_absent)) != len(self.initially_absent):
+            raise ValueError("duplicate node in initially_absent")
+
+        normalized: list[tuple[int, int, str]] = []
+        for rnd, node, action in events:
+            rnd, node = int(rnd), int(node)
+            if rnd < 1:
+                raise ValueError(f"event round must be >= 1, got {rnd}")
+            if not 0 <= node < n_nodes:
+                raise ValueError(f"event node {node} out of range")
+            if action not in _ACTIONS:
+                raise ValueError(
+                    f"event action must be one of {_ACTIONS}, got {action!r}"
+                )
+            normalized.append((rnd, node, action))
+        normalized.sort(key=lambda e: (e[0], e[1]))
+        if len({(r, i) for r, i, _ in normalized}) != len(normalized):
+            raise ValueError("two churn events name the same (round, node)")
+        self.events = tuple(normalized)
+
+        # Replay the schedule once: validates the join/leave alternation
+        # and precomputes one membership mask per distinct event round,
+        # so present(t) is a bisect + array lookup.
+        self._initial = initial
+        if not initial.any():
+            raise ValueError("at least one node must be initially present")
+        breakpoints: list[int] = []
+        masks: list[np.ndarray] = []
+        joins: dict[int, list[int]] = {}
+        current = initial.copy()
+        for rnd in sorted({r for r, _, _ in normalized}):
+            for r, node, action in normalized:
+                if r != rnd:
+                    continue
+                if action == "join":
+                    if current[node]:
+                        raise ValueError(
+                            f"node {node} joins at round {r} but is "
+                            f"already present"
+                        )
+                    current[node] = True
+                    joins.setdefault(r, []).append(node)
+                else:
+                    if not current[node]:
+                        raise ValueError(
+                            f"node {node} leaves at round {r} but is "
+                            f"already absent"
+                        )
+                    current[node] = False
+            if not current.any():
+                raise ValueError(
+                    f"churn schedule empties the system at round {rnd}"
+                )
+            breakpoints.append(rnd)
+            masks.append(current.copy())
+        self._breakpoints = breakpoints
+        self._masks = masks
+        self._joins = {r: tuple(sorted(ids)) for r, ids in joins.items()}
+
+    def present(self, t: int) -> np.ndarray:
+        """Membership mask during round ``t`` (1-based): the initial
+        membership with every event of round ``<= t`` applied. The
+        returned array is shared — do not mutate it."""
+        if t < 1:
+            raise ValueError("round index must be >= 1")
+        idx = bisect_right(self._breakpoints, t)
+        return self._initial if idx == 0 else self._masks[idx - 1]
+
+    def joins_at(self, t: int) -> tuple[int, ...]:
+        """Node ids whose join event fires at round ``t`` (ascending)."""
+        return self._joins.get(t, ())
+
+    @property
+    def max_event_round(self) -> int:
+        """The last round any event fires at (0 for an empty schedule)."""
+        return self._breakpoints[-1] if self._breakpoints else 0
+
+    @property
+    def has_events(self) -> bool:
+        return bool(self.events) or bool(self.initially_absent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChurnSchedule(n_nodes={self.n_nodes}, "
+            f"events={len(self.events)}, "
+            f"initially_absent={self.initially_absent})"
+        )
+
+
+def apply_join_handoff(
+    state: np.ndarray,
+    joiners: Sequence[int],
+    neighbors_of: Callable[[int], np.ndarray],
+    eligible: np.ndarray,
+) -> None:
+    """Initialize each joiner's state row from the mean of its eligible
+    neighbors, in place.
+
+    ``eligible`` marks the nodes allowed to donate state (present and
+    alive this round); same-round joiners are excluded from the donor
+    set so the handoff is order-independent. A joiner with no eligible
+    donor neighbor keeps its current row (documented fallback).
+    """
+    donors = np.asarray(eligible, dtype=bool).copy()
+    joiner_list = sorted(int(i) for i in joiners)
+    for i in joiner_list:
+        donors[i] = False
+    for i in joiner_list:
+        nbrs = np.asarray(neighbors_of(i), dtype=np.int64)
+        nbrs = nbrs[donors[nbrs]] if nbrs.size else nbrs
+        if nbrs.size:
+            state[i] = state[nbrs].mean(axis=0)

@@ -1,0 +1,496 @@
+"""Compile a :class:`~repro.scenarios.spec.ScenarioSpec` into a wired,
+runnable (engine, algorithm) pair.
+
+This is the single place scenario axes meet the execution stack: the
+spec's topology/churn/failure/energy/data/algorithm blocks are resolved
+against the named preset and wired through
+:func:`repro.experiments.runner.build_run` /
+:func:`~repro.experiments.runner.build_async_run` — the same plumbing
+every non-scenario cell uses, so a scenario with all axes at their
+defaults is *byte-identical* to the plain preset cell.
+
+Compilation is deterministic in ``(spec, seed, total_rounds)``: the
+sweep orchestrator rebuilds a killed scenario cell by re-compiling and
+restoring the mid-run checkpoint into the fresh engine, and the
+resumed run is bit-for-bit equal to an uninterrupted one.
+
+Composition rules enforced here (fail at compile time, not rounds into
+a run):
+
+* dynamic topologies are sync-only — the async engine selects partners
+  from fixed neighbor lists, so ``kind="async"`` with a
+  ``dynamic-*`` topology raises :class:`ValueError`;
+* churn requires membership-aware mixing (sync) — compilation wires a
+  masked provider over the scenario graph so departed nodes never
+  enter the gossip GEMM;
+* ``enforce_budgets`` is the async engine's battery gate (validated by
+  the spec itself);
+* churn cannot compose with exact all-reduce (the consensus average
+  has no subgraph analogue for absent members).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..core.schedule import RoundSchedule
+from ..experiments.presets import ExperimentPreset, get_preset
+from ..experiments.runner import (
+    AsyncExperimentResult,
+    ExperimentResult,
+    PreparedExperiment,
+    async_eval_cadence,
+    build_async_run,
+    build_run,
+    prepare,
+)
+from ..simulation.failures import (
+    CrashWindow,
+    FailureModel,
+    IndependentCrashes,
+    masked_mixing,
+)
+from ..simulation.rng import RngFactory
+from ..topology.dynamic import (
+    PeriodicRewiring,
+    RandomRegularEachRound,
+    RegularGraphEachRound,
+)
+from ..topology.graphs import regular_graph
+from .churn import ChurnSchedule
+from .spec import ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.artifacts import PlanCell
+
+__all__ = [
+    "CompiledRun",
+    "compile_run",
+    "validate_composition",
+    "run_scenario",
+    "build_scenario_plan",
+    "scenario_trace",
+    "scenario_mixing_provider",
+]
+
+TRACE_SCHEMA = "repro/scenario-trace/v1"
+
+
+def validate_composition(spec: ScenarioSpec, kind: str = "auto") -> str:
+    """The compile-time composition rules that need no preset lookup:
+    kind consistency, async × dynamic topology, async × vectorized
+    (checked by the caller), churn × all-reduce. Returns the resolved
+    kind. :func:`compile_run` calls this first; the CLI calls it up
+    front so an invalid registered scenario fails with a clean error
+    before any cell starts."""
+    if kind not in ("auto", "sync", "async"):
+        raise ValueError(f'kind must be "auto", "sync" or "async", got {kind!r}')
+    resolved_kind = spec.kind
+    if kind != "auto" and kind != resolved_kind:
+        raise ValueError(
+            f"scenario {spec.name!r} compiles to kind {resolved_kind!r} "
+            f"(algorithm {spec.algorithm.name!r}), got kind={kind!r}"
+        )
+    if resolved_kind == "async" and spec.topology.is_dynamic:
+        raise ValueError(
+            f"scenario {spec.name!r}: dynamic topologies are not "
+            f"wired into AsyncGossipEngine partner selection; use a "
+            f'static "regular" topology for async scenarios'
+        )
+    if spec.churn.active and spec.algorithm.name.lower().endswith("allreduce"):
+        raise ValueError(
+            f"scenario {spec.name!r}: exact all-reduce averages every "
+            f"node's state and has no membership-masked analogue; churn "
+            f"composes with gossip algorithms only"
+        )
+    return resolved_kind
+
+
+def scenario_mixing_provider(
+    graph,
+    churn: ChurnSchedule | None = None,
+    failure_model: FailureModel | None = None,
+    cache_size: int = 64,
+):
+    """Per-round mixing provider over the eligible (member ∧ alive)
+    subgraph of ``graph``.
+
+    ``graph`` is either a fixed :class:`networkx.Graph` or a callable
+    ``t → Graph`` (a :class:`~repro.topology.dynamic.RegularGraphEachRound`).
+    Static graphs memoize by eligibility mask (masked weights repeat
+    across rounds with the same membership); dynamic graphs memoize by
+    round. Both memos are bounded to ``cache_size`` entries with
+    oldest-entry eviction — an rng-backed failure model draws a fresh
+    mask nearly every round, and a million-round run must not grow one
+    cached matrix per round forever (the
+    :class:`~repro.simulation.failures.IndependentCrashes` memo bound
+    exists for the same reason).
+    """
+    if churn is None and failure_model is None:
+        raise ValueError(
+            "scenario_mixing_provider needs a churn schedule or failure "
+            "model; without either, use the static mixing matrix directly"
+        )
+    if cache_size <= 0:
+        raise ValueError("cache_size must be positive")
+    static = not callable(graph)
+    n = graph.number_of_nodes() if static else graph.n_nodes
+    all_on = np.ones(n, dtype=bool)
+
+    def eligible(t: int) -> np.ndarray:
+        mask = all_on
+        if churn is not None:
+            mask = mask & churn.present(t)
+        if failure_model is not None:
+            mask = mask & failure_model.alive(t)
+        return mask
+
+    if static:
+        cache: dict[bytes, object] = {}
+
+        def provider(t: int):
+            mask = eligible(t)
+            if mask.tobytes() not in cache and len(cache) >= cache_size:
+                cache.pop(next(iter(cache)))  # oldest insertion
+            return masked_mixing(graph, mask, cache)
+
+        return provider
+
+    lru: dict[int, object] = {}
+
+    def dyn_provider(t: int):
+        if t not in lru:
+            if len(lru) >= cache_size:
+                lru.pop(min(lru))
+            lru[t] = masked_mixing(graph(t), eligible(t))
+        return lru[t]
+
+    return dyn_provider
+
+
+def _build_failure_model(
+    spec: ScenarioSpec, n_nodes: int, seed: int
+) -> FailureModel | None:
+    f = spec.failures
+    if not f.active:
+        return None
+    if f.kind == "window":
+        if any(i >= n_nodes for i in f.nodes):
+            raise ValueError(
+                f"failure nodes {sorted(f.nodes)} out of range for "
+                f"{n_nodes} nodes"
+            )
+        return CrashWindow(n_nodes, list(f.nodes), f.start, f.end)
+    # rng-backed churn: its own named stream off the cell seed, so the
+    # crash pattern never perturbs event/batch/eval randomness
+    return IndependentCrashes(
+        n_nodes, f.p, rng=RngFactory(seed).stream("failures")
+    )
+
+
+@dataclass
+class CompiledRun:
+    """A scenario wired into a concrete engine, ready to execute.
+
+    ``total_rounds`` is the resolved horizon (expected activations per
+    node for async scenarios); ``eval_every`` the resolved cadence in
+    round-equivalent units. ``execute()`` runs to completion and
+    returns the same result type the plain runner produces, so every
+    downstream consumer (artifacts, figures, aggregation) is oblivious
+    to whether a scenario produced the run.
+    """
+
+    spec: ScenarioSpec
+    kind: str
+    preset: ExperimentPreset
+    prepared: PreparedExperiment
+    engine: object  # SimulationEngine | AsyncGossipEngine
+    algorithm: object  # Algorithm | AsyncPolicy
+    seed: int
+    total_rounds: int
+    eval_every: int
+    churn: ChurnSchedule | None
+    failure_model: FailureModel | None
+
+    def execute(
+        self, round_hook: Callable | None = None
+    ) -> "ExperimentResult | AsyncExperimentResult":
+        if self.kind == "sync":
+            history = self.engine.run(self.algorithm, round_hook=round_hook)
+            assert self.engine.meter is not None
+            return ExperimentResult(
+                history=history,
+                meter=self.engine.meter,
+                trace=self.prepared.trace,
+            )
+        history = self.engine.run(
+            self.algorithm,
+            activations_per_node=self.total_rounds,
+            eval_every=async_eval_cadence(self.eval_every, self.engine.n_nodes),
+            event_hook=round_hook,
+        )
+        return AsyncExperimentResult(
+            history=history,
+            train_energy_wh=self.engine.train_energy_wh,
+            trace=self.prepared.trace,
+        )
+
+
+def compile_run(
+    spec: ScenarioSpec,
+    kind: str = "auto",
+    *,
+    seed: int | None = None,
+    total_rounds: int | None = None,
+    preset: ExperimentPreset | None = None,
+    prepared: PreparedExperiment | None = None,
+    vectorized: bool = False,
+    eval_mode: str = "auto",
+    eval_on: str = "test",
+) -> CompiledRun:
+    """Resolve and wire one scenario into a runnable cell.
+
+    ``kind`` is normally ``"auto"`` (derived from the algorithm name);
+    passing ``"sync"``/``"async"`` explicitly asserts the expectation
+    and fails loudly on mismatch. ``seed``/``total_rounds`` override
+    the spec's defaults (the sweep orchestrator passes the cell's).
+    ``preset`` injects a preset object directly (tests); ``prepared``
+    skips data synthesis when the caller already holds the cell's
+    prepared experiment.
+    """
+    resolved_kind = validate_composition(spec, kind)
+    if resolved_kind == "async" and vectorized:
+        raise ValueError(
+            "async scenarios have no vectorized engine; drop "
+            "vectorized=True"
+        )
+    base = preset if preset is not None else get_preset(spec.preset)
+    if spec.energy.battery_fraction is not None:
+        base = dataclasses.replace(
+            base, battery_fraction=spec.energy.battery_fraction
+        )
+    n = base.n_nodes
+    run_seed = seed if seed is not None else spec.seed
+    rounds = (
+        total_rounds
+        if total_rounds is not None
+        else (spec.total_rounds or base.total_rounds)
+    )
+    eval_every = spec.eval_every if spec.eval_every is not None else base.eval_every
+    degree = (
+        spec.topology.degree
+        if spec.topology.degree is not None
+        else base.degrees[0]
+    )
+
+    churn = spec.churn.build(n)
+    failure_model = _build_failure_model(spec, n, run_seed)
+
+    if prepared is None:
+        prepared = prepare(
+            base,
+            degree,
+            seed=run_seed,
+            partition_override=spec.data.partition,
+            dirichlet_alpha=spec.data.alpha,
+        )
+
+    schedule = None
+    if spec.algorithm.gamma_train is not None:
+        schedule = RoundSchedule(
+            spec.algorithm.gamma_train, spec.algorithm.gamma_sync
+        )
+
+    if resolved_kind == "sync":
+        mixing = _sync_mixing(spec, n, degree, run_seed, churn, failure_model)
+        engine, algo = build_run(
+            prepared,
+            spec.algorithm.name,
+            schedule=schedule,
+            total_rounds=rounds,
+            eval_every=eval_every,
+            eval_on=eval_on,
+            vectorized=vectorized,
+            eval_mode=eval_mode,
+            mixing=mixing,
+            failure_model=failure_model,
+            churn=churn,
+        )
+    else:
+        engine, algo = build_async_run(
+            prepared,
+            spec.algorithm.name,
+            schedule=schedule,
+            activations_per_node=rounds,
+            eval_on=eval_on,
+            eval_mode=eval_mode,
+            failure_model=failure_model,
+            enforce_budgets=spec.energy.enforce_budgets,
+            churn=churn,
+        )
+    return CompiledRun(
+        spec=spec,
+        kind=resolved_kind,
+        preset=base,
+        prepared=prepared,
+        engine=engine,
+        algorithm=algo,
+        seed=run_seed,
+        total_rounds=rounds,
+        eval_every=eval_every,
+        churn=churn,
+        failure_model=failure_model,
+    )
+
+
+def _sync_mixing(
+    spec: ScenarioSpec,
+    n: int,
+    degree: int,
+    seed: int,
+    churn: ChurnSchedule | None,
+    failure_model: FailureModel | None,
+):
+    """The sync engine's mixing argument for a scenario: ``None``
+    (prepared static matrix), a plain dynamic provider, or a
+    churn/failure-masked provider over the scenario graph."""
+    topo = spec.topology
+    masked = churn is not None or failure_model is not None
+    if not topo.is_dynamic:
+        if not masked:
+            return None  # the prepared static MH matrix
+        return scenario_mixing_provider(
+            regular_graph(n, degree, seed=seed), churn, failure_model
+        )
+    period = topo.period if topo.kind == "dynamic-periodic" else 1
+    if not masked:
+        if period == 1:
+            return RandomRegularEachRound(n, degree, seed=seed)
+        return PeriodicRewiring(n, degree, period, seed=seed)
+    return scenario_mixing_provider(
+        RegularGraphEachRound(n, degree, seed=seed, period=period),
+        churn,
+        failure_model,
+    )
+
+
+def run_scenario(
+    spec: ScenarioSpec | str,
+    *,
+    seed: int | None = None,
+    total_rounds: int | None = None,
+    preset: ExperimentPreset | None = None,
+    vectorized: bool = False,
+) -> "ExperimentResult | AsyncExperimentResult":
+    """Compile and execute one scenario (by spec or registered name)."""
+    if isinstance(spec, str):
+        from .registry import get_scenario
+
+        spec = get_scenario(spec)
+    return compile_run(
+        spec,
+        seed=seed,
+        total_rounds=total_rounds,
+        preset=preset,
+        vectorized=vectorized,
+    ).execute()
+
+
+def build_scenario_plan(
+    spec: ScenarioSpec,
+    seeds=(0, 1, 2),
+    total_rounds: int | None = None,
+    preset: ExperimentPreset | None = None,
+) -> "tuple[PlanCell, ...]":
+    """Enumerate one scenario's sweep cells (one per seed). The cells
+    carry the scenario's name, and their preset/algorithm/degree
+    coordinates are resolved from the spec so artifacts group naturally
+    next to non-scenario cells — without ever sharing a summary group
+    (aggregation keys include the scenario name)."""
+    from ..experiments.artifacts import PlanCell
+
+    if not seeds:
+        raise ValueError("need at least one seed")
+    base = preset if preset is not None else get_preset(spec.preset)
+    rounds = (
+        total_rounds
+        if total_rounds is not None
+        else (spec.total_rounds or base.total_rounds)
+    )
+    if rounds <= 0:
+        raise ValueError("total_rounds must be positive")
+    degree = (
+        spec.topology.degree
+        if spec.topology.degree is not None
+        else base.degrees[0]
+    )
+    return tuple(
+        PlanCell(
+            preset=spec.preset,
+            algorithm=spec.algorithm.name,
+            degree=int(degree),
+            seed=int(s),
+            total_rounds=int(rounds),
+            kind=spec.kind,
+            scenario=spec.name,
+        )
+        for s in seeds
+    )
+
+
+def scenario_trace(
+    spec: ScenarioSpec | str,
+    *,
+    seed: int | None = None,
+    total_rounds: int | None = None,
+    preset: ExperimentPreset | None = None,
+) -> dict:
+    """Run one scenario and distill it into a tiny regression trace:
+    the final state matrix's SHA-256 plus the evaluation curve. The
+    golden-trace tests commit these for named scenarios and recompute
+    them, so a refactor cannot silently change a trajectory. JSON
+    floats round-trip exactly (shortest-repr), so comparing a reloaded
+    trace against a recomputed one is an exact check."""
+    if isinstance(spec, str):
+        from .registry import get_scenario
+
+        spec = get_scenario(spec)
+    compiled = compile_run(
+        spec, seed=seed, total_rounds=total_rounds, preset=preset
+    )
+    result = compiled.execute()
+    state = np.ascontiguousarray(compiled.engine.state)
+    if compiled.kind == "sync":
+        curve = [
+            {
+                "round": r.round,
+                "mean_accuracy": r.mean_accuracy,
+                "consensus": r.consensus,
+            }
+            for r in result.history.records
+        ]
+    else:
+        curve = [
+            {
+                "time": r.time,
+                "activations": r.activations,
+                "mean_accuracy": r.mean_accuracy,
+                "consensus": r.consensus,
+            }
+            for r in result.history.records
+        ]
+    return {
+        "schema": TRACE_SCHEMA,
+        "scenario": spec.name,
+        "kind": compiled.kind,
+        "seed": compiled.seed,
+        "total_rounds": compiled.total_rounds,
+        "final_accuracy": result.final_accuracy,
+        "state_sha256": hashlib.sha256(state.tobytes()).hexdigest(),
+        "curve": curve,
+    }

@@ -28,6 +28,13 @@ The engine composes with the same scenario axes as the synchronous one:
   (:attr:`~repro.energy.traces.EnergyTrace.budget_rounds`) is spent,
   regardless of the policy (engine-level battery depletion; the
   constrained policy additionally rations its coin flips).
+* **Churn** — a :class:`~repro.scenarios.churn.ChurnSchedule` over the
+  same ``⌊time⌋ + 1`` round analogue. A node that has not joined (or
+  has left) never activates and is never chosen as a gossip partner;
+  on its join round it is seeded with the mean of its eligible
+  neighbors' states, exactly once (the engine keeps a cursor of the
+  last handoff-applied round, which checkpoints with the rest of the
+  state).
 
 Randomness is split across three independent streams so trajectories
 never depend on observation choices: the event stream (Poisson clocks +
@@ -56,11 +63,12 @@ from ..nn.losses import CrossEntropyLoss
 from ..nn.module import Module
 from ..nn.optim import SGD
 from ..nn.serialization import parameter_vector, set_parameter_vector
-from .metrics import consensus_distance, evaluate_state
+from .metrics import consensus_distance, evaluate_state, membership_eval_pool
 from .node import Node
 from .rng import generator_state, restore_generator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.churn import ChurnSchedule
     from .failures import FailureModel
 
 __all__ = [
@@ -261,6 +269,7 @@ class AsyncGossipEngine:
         eval_rng: np.random.Generator | None = None,
         failure_model: "FailureModel | None" = None,
         enforce_budgets: bool = False,
+        churn: "ChurnSchedule | None" = None,
     ) -> None:
         n = len(nodes)
         if n != len(neighbor_lists):
@@ -275,6 +284,8 @@ class AsyncGossipEngine:
             failure_model, "n_nodes", n
         ) != n:
             raise ValueError("failure model node count mismatch")
+        if churn is not None and churn.n_nodes != n:
+            raise ValueError("churn schedule node count mismatch")
         self.model = model
         self.nodes = nodes
         self.neighbors = neighbor_lists
@@ -286,6 +297,11 @@ class AsyncGossipEngine:
         self.eval_node_sample = eval_node_sample
         self.failure_model = failure_model
         self.enforce_budgets = enforce_budgets
+        self.churn = churn
+        #: last (1-based) round whose join handoffs have been applied —
+        #: the one piece of churn state that must checkpoint (membership
+        #: itself is a pure function of the round index)
+        self._churn_round = 0
         self._evaluator = make_evaluator(model, eval_mode)
         self.loss = CrossEntropyLoss()
         self.optimizer = SGD(model.parameters(), lr=learning_rate)
@@ -325,12 +341,16 @@ class AsyncGossipEngine:
         assert self.trace is not None
         return bool(self.train_counts[i] < self.trace.budget_rounds[i])
 
-    def _gossip(self, i: int, alive: np.ndarray | None = None) -> None:
+    def _gossip(self, i: int, eligible: np.ndarray | None = None) -> int | None:
+        """One pairwise gossip from node ``i``; ``eligible`` masks the
+        partner candidates (dead or departed nodes are never chosen).
+        Returns the partner id, or ``None`` for a train-only activation
+        (whole neighborhood ineligible)."""
         candidates = self.neighbors[i]
-        if alive is not None:
-            candidates = candidates[alive[candidates]]
+        if eligible is not None:
+            candidates = candidates[eligible[candidates]]
             if candidates.size == 0:
-                return  # whole neighborhood down: train-only activation
+                return None  # whole neighborhood down/absent: train-only
         j = int(self.rng.choice(candidates))
         # In-place pairwise average — the per-event hot path. Same
         # add-then-halve operation order as ``0.5 * (s_i + s_j)``, so
@@ -339,6 +359,7 @@ class AsyncGossipEngine:
         np.add(si, sj, out=si)
         si *= 0.5
         sj[:] = si
+        return j
 
     def _alive_at(self, time: float) -> np.ndarray | None:
         """Alive mask for the event at simulated ``time``: unit-rate
@@ -348,15 +369,54 @@ class AsyncGossipEngine:
             return None
         return self.failure_model.alive(int(time) + 1)
 
+    def _advance_churn(self, t: int) -> None:
+        """Apply every join handoff in rounds ``(_churn_round, t]``.
+
+        Called once per event with the event's round analogue; a joiner
+        is seeded with the mean of its eligible (present ∧ alive)
+        veteran neighbors at its join round, exactly once — the cursor
+        round-trips through :meth:`state_dict`, so a resumed run never
+        re-applies a handoff. A joiner that is itself dead at its join
+        round enrolls without a handoff and keeps its frozen row (the
+        sync engine's rule, applied identically)."""
+        from ..scenarios.churn import apply_join_handoff
+
+        assert self.churn is not None
+        for r in range(self._churn_round + 1, t + 1):
+            joiners = self.churn.joins_at(r)
+            if joiners:
+                present = self.churn.present(r)
+                alive = (
+                    self.failure_model.alive(r)
+                    if self.failure_model is not None
+                    else None
+                )
+                if alive is not None:
+                    joiners = tuple(i for i in joiners if alive[i])
+                eligible = present if alive is None else present & alive
+                apply_join_handoff(
+                    self.state, joiners, lambda i: self.neighbors[i], eligible
+                )
+        self._churn_round = t
+
     def _evaluate(self, time: float, events: int) -> AsyncRecord:
         node_ids = None
-        if (
+        if self.churn is not None:
+            # members only — shared helper, identical in both engines
+            node_ids, consensus_rows = membership_eval_pool(
+                self.state, self.churn.present(int(time) + 1),
+                self.eval_node_sample, self.eval_rng,
+            )
+        elif (
             self.eval_node_sample is not None
             and self.eval_node_sample < self.n_nodes
         ):
             node_ids = self.eval_rng.choice(
                 self.n_nodes, size=self.eval_node_sample, replace=False
             )
+            consensus_rows = self.state
+        else:
+            consensus_rows = self.state
         mean_acc, std_acc = evaluate_state(
             self.model, self.state, self.test_set, node_ids=node_ids,
             evaluator=self._evaluator,
@@ -366,7 +426,7 @@ class AsyncGossipEngine:
             activations=events,
             mean_accuracy=mean_acc,
             std_accuracy=std_acc,
-            consensus=consensus_distance(self.state),
+            consensus=consensus_distance(consensus_rows),
             train_energy_wh=self.train_energy_wh,
         )
 
@@ -400,6 +460,7 @@ class AsyncGossipEngine:
                 [node.local_steps_done for node in self.nodes],
                 dtype=np.int64,
             ),
+            "churn_round": int(self._churn_round),
         }
 
     def load_state_dict(self, sd: dict) -> None:
@@ -438,6 +499,7 @@ class AsyncGossipEngine:
         ]
         self.rng = restore_generator(sd["rng"])
         self.eval_rng = restore_generator(sd["eval_rng"])
+        self._churn_round = int(sd.get("churn_round", 0))
         steps_done = np.asarray(sd["node_steps_done"], dtype=np.int64)
         for node, rng_state, steps in zip(self.nodes, node_rngs, steps_done):
             node.loader.rng = restore_generator(rng_state)
@@ -494,15 +556,25 @@ class AsyncGossipEngine:
             history = AsyncHistory(policy=policy.name, records=[])
         for event in range(start_event + 1, total_events + 1):
             time, i = heapq.heappop(self._queue)
+            t = int(time) + 1
+            if self.churn is not None and t > self._churn_round:
+                self._advance_churn(t)
             alive = self._alive_at(time)
-            if alive is None or alive[i]:
+            present = self.churn.present(t) if self.churn is not None else None
+            if present is None:
+                eligible = alive
+            elif alive is None:
+                eligible = present
+            else:
+                eligible = present & alive
+            if eligible is None or eligible[i]:
                 self.activation_counts[i] += 1
                 if self._may_train(i) and policy.should_train(
                     i, int(self.activation_counts[i])
                 ):
                     self._train_node(i)
-                self._gossip(i, alive)
-            # dead nodes stay silent but their clock keeps ticking
+                self._gossip(i, eligible)
+            # dead/absent nodes stay silent but their clock keeps ticking
             heapq.heappush(self._queue, (time + float(self.rng.exponential()), i))
             if event % eval_every == 0 or event == total_events:
                 history.records.append(self._evaluate(time, event))

@@ -20,7 +20,10 @@ checkpoint behind:
   equal to an uninterrupted run's (provided the checkpoint was taken
   at an evaluation round — see :meth:`SimulationEngine.run`). Engine
   configurations whose state cannot be fully captured (momentum,
-  stochastic compressors, failure models) are rejected at save time.
+  stochastic compressors, rng-backed failure models) are rejected at
+  save time; deterministic failure models (``CrashWindow``,
+  ``NoFailures``) and churn schedules are pure functions of the round
+  index and checkpoint fine.
 * :func:`save_async_run_checkpoint` / :func:`load_async_run_checkpoint`
   — the same full-snapshot contract for the event-driven
   :class:`~repro.simulation.async_engine.AsyncGossipEngine`: the state
@@ -156,18 +159,22 @@ def save_run_checkpoint(
     are rejected up front rather than resumed divergently: momentum
     (the serial velocity buffer lives in the shared workspace
     optimizer), stochastic compressors (RandomK/Quantization hold
-    their own rng), and failure models (likewise). Deterministic
-    compressors are fine — their error-feedback public copies are
-    checkpointed.
+    their own rng), and rng-backed failure models
+    (``IndependentCrashes``). Deterministic compressors are fine —
+    their error-feedback public copies are checkpointed — and so are
+    deterministic failure models and churn schedules, whose state is a
+    pure function of the round index.
     """
     if engine.config.momentum > 0.0:
         raise ValueError(
             "run checkpoints do not capture the shared momentum velocity "
             "buffer; use momentum=0 for checkpointed runs"
         )
-    if engine.failure_model is not None:
+    if getattr(engine.failure_model, "rng", None) is not None:
         raise ValueError(
-            "run checkpoints do not capture failure-model rng state"
+            "run checkpoints do not capture stochastic failure-model rng "
+            "state; use a deterministic failure model (CrashWindow) for "
+            "checkpointed runs"
         )
     if getattr(engine.compressor, "rng", None) is not None:
         raise ValueError(
@@ -313,6 +320,7 @@ def save_async_run_checkpoint(
         "policy_name": np.array(policy.name),
         "policy_json": np.array(json.dumps(policy.state_dict())),
         "history_policy": np.array(history.policy),
+        "churn_round": np.array(sd.get("churn_round", 0), dtype=np.int64),
     }
     for field, dtype in _ASYNC_HISTORY_FIELDS:
         payload[f"hist_{field}"] = np.array(
@@ -361,6 +369,11 @@ def load_async_run_checkpoint(
                 "eval_rng": json.loads(str(archive["eval_rng_json"])),
                 "node_rngs": json.loads(str(archive["node_rng_json"])),
                 "node_steps_done": archive["node_steps_done"],
+                "churn_round": (
+                    int(archive["churn_round"])
+                    if "churn_round" in archive
+                    else 0
+                ),
             }
         )
         policy.load_state_dict(json.loads(str(archive["policy_json"])))

@@ -60,6 +60,7 @@ from ..core.base import Algorithm
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.compression import Compressor
+    from ..scenarios.churn import ChurnSchedule
     from .failures import FailureModel
 from ..data.dataset import ArrayDataset
 from ..energy.accounting import EnergyMeter
@@ -68,7 +69,13 @@ from ..nn.losses import CrossEntropyLoss
 from ..nn.module import Module
 from ..nn.optim import SGD
 from ..nn.serialization import parameter_vector, set_parameter_vector
-from .metrics import RoundRecord, RunHistory, consensus_distance, evaluate_state
+from .metrics import (
+    RoundRecord,
+    RunHistory,
+    consensus_distance,
+    evaluate_state,
+    membership_eval_pool,
+)
 from .node import Node
 
 __all__ = ["EngineConfig", "SimulationEngine"]
@@ -129,7 +136,18 @@ class EngineConfig:
 
 
 class SimulationEngine:
-    """Runs one algorithm over one topology/dataset assignment."""
+    """Runs one algorithm over one topology/dataset assignment.
+
+    ``failure_model`` freezes transiently dead nodes (no training, no
+    communication for the round); ``churn`` — a
+    :class:`~repro.scenarios.churn.ChurnSchedule` — is the membership
+    axis: nodes that have not joined (or have left) never train, are
+    excluded from evaluation means/consensus, and must be isolated
+    from mixing by a membership-aware provider (enforced at
+    construction; :func:`repro.scenarios.compile_run` wires it).
+    Joiners are seeded with the mean of their eligible neighbors'
+    states before the join round's training (see
+    :func:`~repro.scenarios.churn.apply_join_handoff`)."""
 
     def __init__(
         self,
@@ -142,10 +160,20 @@ class SimulationEngine:
         eval_rng: np.random.Generator | None = None,
         compressor: "Compressor | None" = None,
         failure_model: "FailureModel | None" = None,
+        churn: "ChurnSchedule | None" = None,
     ) -> None:
         n = len(nodes)
         if n == 0:
             raise ValueError("need at least one node")
+        if churn is not None:
+            if churn.n_nodes != n:
+                raise ValueError("churn schedule node count mismatch")
+            if not callable(mixing):
+                raise ValueError(
+                    "churn requires a membership-aware mixing provider "
+                    "(a static matrix would keep mixing departed nodes "
+                    "in); wire the engine via scenarios.compile_run"
+                )
         if callable(mixing):
             self._mixing_provider = mixing
             self.mixing = mixing(1).tocsr()
@@ -166,6 +194,7 @@ class SimulationEngine:
         self.eval_rng = eval_rng if eval_rng is not None else np.random.default_rng(0)
         self.compressor = compressor
         self.failure_model = failure_model
+        self.churn = churn
         self.loss = CrossEntropyLoss()
         self.optimizer = SGD(
             model.parameters(),
@@ -288,6 +317,35 @@ class SimulationEngine:
         off = w - sp.diags(diag)
         self.state = diag[:, None] * self.state + off @ self._public
 
+    def _apply_churn(self, t: int, alive: np.ndarray | None) -> np.ndarray:
+        """Round ``t``'s membership step: hand each joiner the mean of
+        its eligible (present ∧ alive) veteran neighbors' states, and
+        return the round's membership mask. Neighbors come from the
+        round's mixing matrix, filtered by eligibility, so the handoff
+        agrees with the graph the round actually communicates over.
+
+        A joiner that is itself *dead* at its join round (the failure
+        model covers it) enrolls without a handoff and keeps its
+        current row — it cannot fetch neighbor state while down. Both
+        engines implement this rule identically."""
+        from ..scenarios.churn import apply_join_handoff
+
+        assert self.churn is not None
+        present = self.churn.present(t)
+        joiners = self.churn.joins_at(t)
+        if joiners and alive is not None:
+            joiners = tuple(i for i in joiners if alive[i])
+        if joiners:
+            eligible = present if alive is None else present & alive
+            w = self._mixing_for_round(t)
+
+            def neighbors_of(i: int) -> np.ndarray:
+                cols = w.indices[w.indptr[i] : w.indptr[i + 1]]
+                return cols[cols != i]
+
+            apply_join_handoff(self.state, joiners, neighbors_of, eligible)
+        return present
+
     def _evaluate(
         self,
         t: int,
@@ -297,8 +355,16 @@ class SimulationEngine:
     ) -> RoundRecord:
         sample = self.config.eval_node_sample
         node_ids = None
-        if sample is not None and sample < self.n_nodes:
+        if self.churn is not None:
+            # members only — shared helper, identical in both engines
+            node_ids, consensus_rows = membership_eval_pool(
+                self.state, self.churn.present(t), sample, self.eval_rng
+            )
+        elif sample is not None and sample < self.n_nodes:
             node_ids = self.eval_rng.choice(self.n_nodes, size=sample, replace=False)
+            consensus_rows = self.state
+        else:
+            consensus_rows = self.state
         mean_acc, std_acc = evaluate_state(
             self.model, self.state, self.test_set, node_ids=node_ids,
             evaluator=self._evaluator,
@@ -308,7 +374,7 @@ class SimulationEngine:
             round=t,
             mean_accuracy=mean_acc,
             std_accuracy=std_acc,
-            consensus=consensus_distance(self.state),
+            consensus=consensus_distance(consensus_rows),
             cumulative_energy_wh=energy,
             trained_nodes=int(trained.sum()),
             is_training_round=is_training_round,
@@ -358,11 +424,17 @@ class SimulationEngine:
                 mask = mask & alive
             else:
                 alive = None
+            if self.churn is not None:
+                present = self._apply_churn(t, alive)
+                mask = mask & present
+                communicated = present if alive is None else present & alive
+            else:
+                communicated = alive
             losses = self._train_round(mask)
             self._aggregate(algorithm.use_allreduce, t)
             if self.meter is not None:
                 self.meter.record_round(
-                    mask, communicated=alive, comm_scale=self._comm_scale
+                    mask, communicated=communicated, comm_scale=self._comm_scale
                 )
             if self._should_eval(algorithm, t, last_eval):
                 train_loss = float(np.mean(losses)) if losses else float("nan")

@@ -137,15 +137,26 @@ def masked_mixing(
 
 
 def failure_mixing_provider(
-    graph: nx.Graph, model: FailureModel
+    graph: nx.Graph, model: FailureModel, cache_size: int = 64
 ) -> "callable":
     """Per-round mixing provider for the engine: Metropolis–Hastings on
     the alive subgraph of ``graph``, with memoization across repeated
     alive patterns. Pass the result as the engine's ``mixing`` argument
-    together with ``failure_model=model``."""
+    together with ``failure_model=model``.
+
+    The memo is bounded to ``cache_size`` masks with oldest-entry
+    eviction: an rng-backed model draws a fresh alive pattern nearly
+    every round, and a million-round run must not grow one cached
+    matrix per round forever (the same bound
+    ``scenario_mixing_provider`` applies)."""
+    if cache_size <= 0:
+        raise ValueError("cache_size must be positive")
     cache: dict[bytes, sp.csr_matrix] = {}
 
     def provider(t: int) -> sp.csr_matrix:
-        return masked_mixing(graph, model.alive(t), cache)
+        alive = model.alive(t)
+        if alive.tobytes() not in cache and len(cache) >= cache_size:
+            cache.pop(next(iter(cache)))  # oldest insertion
+        return masked_mixing(graph, alive, cache)
 
     return provider

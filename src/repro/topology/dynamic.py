@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+import networkx as nx
 import scipy.sparse as sp
 
 from .graphs import regular_graph
@@ -18,6 +19,7 @@ from .mixing import metropolis_hastings_weights
 
 __all__ = [
     "static_provider",
+    "RegularGraphEachRound",
     "RandomRegularEachRound",
     "PeriodicRewiring",
 ]
@@ -29,8 +31,49 @@ def static_provider(mixing: sp.spmatrix) -> Callable[[int], sp.spmatrix]:
     return lambda t: csr
 
 
+class RegularGraphEachRound:
+    """Graph-level dynamic topology: a fresh random d-regular *graph*
+    every ``period`` rounds (every round by default).
+
+    This is the structural core the matrix-level providers below derive
+    their weights from, exposed separately because scenario compilation
+    needs the graph itself: churn and failure masking re-derive
+    Metropolis–Hastings weights on the eligible-induced subgraph, which
+    requires edges, not weights. The epoch seed derivation
+    (``seed + 7919 * epoch``) matches :class:`RandomRegularEachRound`
+    exactly, so a dynamic scenario without churn/failures sees the same
+    graph sequence whichever layer provides it.
+    """
+
+    def __init__(self, n_nodes: int, degree: int, seed: int = 0,
+                 period: int = 1, cache_size: int = 8) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if cache_size <= 0:
+            raise ValueError("cache_size must be positive")
+        self.n_nodes = n_nodes
+        self.degree = degree
+        self.seed = seed
+        self.period = period
+        self.cache_size = cache_size
+        self._cache: dict[int, nx.Graph] = {}
+
+    def epoch(self, t: int) -> int:
+        return (t - 1) // self.period + 1
+
+    def __call__(self, t: int) -> nx.Graph:
+        epoch = self.epoch(t)
+        if epoch not in self._cache:
+            if len(self._cache) >= self.cache_size:
+                self._cache.pop(min(self._cache))
+            self._cache[epoch] = regular_graph(
+                self.n_nodes, self.degree, seed=self.seed + 7919 * epoch
+            )
+        return self._cache[epoch]
+
+
 class RandomRegularEachRound:
-    """A fresh random d-regular graph every round.
+    """A fresh random d-regular graph every round, as mixing weights.
 
     Per-round matrices are cached by round index, so repeated queries
     (engine + diagnostics) see a consistent graph.
@@ -44,16 +87,15 @@ class RandomRegularEachRound:
         self.degree = degree
         self.seed = seed
         self.cache_size = cache_size
+        self.graphs = RegularGraphEachRound(n_nodes, degree, seed=seed,
+                                            cache_size=cache_size)
         self._cache: dict[int, sp.csr_matrix] = {}
 
     def __call__(self, t: int) -> sp.csr_matrix:
         if t not in self._cache:
             if len(self._cache) >= self.cache_size:
                 self._cache.pop(min(self._cache))
-            graph = regular_graph(
-                self.n_nodes, self.degree, seed=self.seed + 7919 * t
-            )
-            self._cache[t] = metropolis_hastings_weights(graph)
+            self._cache[t] = metropolis_hastings_weights(self.graphs(t))
         return self._cache[t]
 
 

@@ -104,7 +104,9 @@ class TestCommands:
     def test_sweep_kind_flag(self):
         args = build_parser().parse_args(["sweep", "--kind", "async"])
         assert args.kind == "async"
-        assert build_parser().parse_args(["sweep"]).kind == "sync"
+        # default is None so --scenario can tell "explicit sync" from
+        # "unspecified" (plain sweeps resolve None to sync)
+        assert build_parser().parse_args(["sweep"]).kind is None
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--kind", "quantum"])
 
@@ -244,3 +246,158 @@ class TestArtifactPipeline:
         assert "repro sweep" in capsys.readouterr().err
         assert main(["aggregate", "--results-dir", empty]) == 1
         assert "no raw artifacts" in capsys.readouterr().err
+
+
+class TestScenarioCommands:
+    """The `repro scenario` family and `repro sweep --scenario`."""
+
+    @pytest.fixture
+    def micro_scenario(self, tiny_preset, monkeypatch):
+        """A tiny churn scenario registered under a throwaway name,
+        with its preset patched into the preset registry."""
+        import dataclasses
+
+        from repro.experiments.presets import PRESETS
+        from repro.scenarios import (
+            AlgorithmSpec,
+            ChurnEventSpec,
+            ChurnSpec,
+            ScenarioSpec,
+        )
+        from repro.scenarios.registry import _REGISTRY
+
+        preset = dataclasses.replace(tiny_preset, name="micro-cli",
+                                     total_rounds=8, eval_every=2)
+        monkeypatch.setitem(PRESETS, "micro-cli", lambda: preset)
+        spec = ScenarioSpec(
+            name="micro-churn",
+            preset="micro-cli",
+            total_rounds=8,
+            eval_every=2,
+            churn=ChurnSpec(events=(ChurnEventSpec(3, 1, "leave"),)),
+            algorithm=AlgorithmSpec(name="skiptrain"),
+        )
+        monkeypatch.setitem(_REGISTRY, "micro-churn", lambda: spec)
+        return spec
+
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "churn-ramp" in out and "churn-async" in out
+        assert "kind=async" in out
+
+    def test_scenario_show_round_trips(self, capsys):
+        from repro.scenarios import ScenarioSpec, get_scenario
+
+        assert main(["scenario", "show", "churn-crash"]) == 0
+        out = capsys.readouterr().out
+        assert ScenarioSpec.from_json(out) == get_scenario("churn-crash")
+
+    def test_scenario_unknown_name(self, capsys):
+        for cmd in (["scenario", "show", "nope"],
+                    ["scenario", "run", "nope"],
+                    ["scenario", "trace", "nope"]):
+            assert main(cmd) == 2
+            assert "unknown scenario" in capsys.readouterr().err
+
+    def test_scenario_run(self, micro_scenario, capsys):
+        assert main(["scenario", "run", "micro-churn", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=micro-churn" in out and "seed=1" in out
+        assert "round " in out and "total training energy" in out
+
+    def test_scenario_trace_is_json(self, micro_scenario, capsys):
+        import json
+
+        assert main(["scenario", "trace", "micro-churn"]) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["scenario"] == "micro-churn"
+        assert len(trace["state_sha256"]) == 64
+
+    def test_sweep_scenario_end_to_end(self, micro_scenario, tmp_path,
+                                       capsys):
+        res = str(tmp_path / "results")
+        argv = ["sweep", "--scenario", "micro-churn", "--seeds", "0",
+                "--results-dir", res, "--checkpoint-every", "2"]
+        assert main(argv) == 0
+        assert "ran 1" in capsys.readouterr().out
+        assert main(argv) == 0  # resumable
+        assert "skipped 1" in capsys.readouterr().out
+        assert main(["aggregate", "--results-dir", res]) == 0
+        out = capsys.readouterr().out
+        assert "micro-churn" in out
+
+    def test_sweep_scenario_dry_run(self, micro_scenario, tmp_path, capsys):
+        assert main(["sweep", "--scenario", "micro-churn", "--seeds",
+                     "0", "1", "--results-dir", str(tmp_path),
+                     "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "scn-micro-churn" in out and "2 of 2 cells" in out
+
+    def test_sweep_scenario_conflicts(self, micro_scenario, capsys):
+        assert main(["sweep", "--scenario", "micro-churn",
+                     "--preset", "cifar10-bench"]) == 2
+        assert "--preset" in capsys.readouterr().err
+        assert main(["sweep", "--scenario", "micro-churn",
+                     "--algorithms", "d-psgd"]) == 2
+        assert "--algorithms" in capsys.readouterr().err
+        assert main(["sweep", "--scenario", "micro-churn",
+                     "--degrees", "3"]) == 2
+        assert "--degree" in capsys.readouterr().err
+
+    def test_sweep_scenario_unknown(self, capsys):
+        assert main(["sweep", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_sweep_scenario_kind_contradiction(self, capsys):
+        assert main(["sweep", "--scenario", "churn-ramp",
+                     "--kind", "async"]) == 2
+        assert "kind" in capsys.readouterr().err
+        # the inverse contradiction errors too: an explicit --kind sync
+        # on an async scenario is not silently overridden
+        assert main(["sweep", "--scenario", "churn-async",
+                     "--kind", "sync"]) == 2
+        assert "kind 'async'" in capsys.readouterr().err
+
+    def test_invalid_composition_fails_cleanly_everywhere(
+        self, monkeypatch, capsys
+    ):
+        """A registered scenario whose composition only compile_run can
+        reject (async algorithm × dynamic topology) exits 2 with a
+        clean error from run, trace, and sweep — never a traceback."""
+        from repro.scenarios import AlgorithmSpec, ScenarioSpec, TopologySpec
+        from repro.scenarios.registry import _REGISTRY
+
+        spec = ScenarioSpec(
+            name="bad-combo", preset="cifar10-bench-async",
+            topology=TopologySpec(kind="dynamic-random"),
+            algorithm=AlgorithmSpec(name="async-skiptrain"),
+        )
+        monkeypatch.setitem(_REGISTRY, "bad-combo", lambda: spec)
+        for argv in (["scenario", "run", "bad-combo"],
+                     ["scenario", "trace", "bad-combo"],
+                     ["sweep", "--scenario", "bad-combo", "--seeds", "0"]):
+            assert main(argv) == 2, argv
+            assert "dynamic topologies" in capsys.readouterr().err
+
+    def test_sweep_scenario_rng_failures_reject_checkpointing(
+        self, tiny_preset, monkeypatch, capsys
+    ):
+        import dataclasses
+
+        from repro.experiments.presets import PRESETS
+        from repro.scenarios import AlgorithmSpec, FailureSpec, ScenarioSpec
+        from repro.scenarios.registry import _REGISTRY
+
+        preset = dataclasses.replace(tiny_preset, name="micro-cli",
+                                     total_rounds=8, eval_every=2)
+        monkeypatch.setitem(PRESETS, "micro-cli", lambda: preset)
+        spec = ScenarioSpec(
+            name="micro-rng-fail", preset="micro-cli", total_rounds=8,
+            failures=FailureSpec(kind="independent", p=0.2),
+            algorithm=AlgorithmSpec(name="skiptrain"),
+        )
+        monkeypatch.setitem(_REGISTRY, "micro-rng-fail", lambda: spec)
+        assert main(["sweep", "--scenario", "micro-rng-fail",
+                     "--checkpoint-every", "2"]) == 2
+        assert "independent" in capsys.readouterr().err

@@ -1,0 +1,49 @@
+"""Golden-trace regression fixtures for the named churn scenarios.
+
+``tests/golden/<name>.json`` pins each scenario's final-state SHA-256
+digest and evaluation curve (accuracy + consensus). The test recomputes
+the trace from scratch — data synthesis, partitioning, topology, churn,
+failures, both engines — and compares exactly, so a refactor anywhere
+in that stack cannot silently change a trajectory.
+
+Regenerate a fixture after an *intentional* trajectory change with::
+
+    python -m repro scenario trace <name> > tests/golden/<name>.json
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.compile import TRACE_SCHEMA, scenario_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_SCENARIOS = ("churn-ramp", "churn-crash", "churn-async")
+
+
+@pytest.mark.parametrize("name", GOLDEN_SCENARIOS)
+def test_fixture_exists_and_well_formed(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.is_file(), (
+        f"missing golden fixture {path}; generate it with "
+        f"`python -m repro scenario trace {name} > {path}`"
+    )
+    fixture = json.loads(path.read_text())
+    assert fixture["schema"] == TRACE_SCHEMA
+    assert fixture["scenario"] == name
+    assert len(fixture["state_sha256"]) == 64
+    assert fixture["curve"], "fixture carries an empty eval curve"
+
+
+@pytest.mark.parametrize("name", GOLDEN_SCENARIOS)
+def test_recomputed_trace_matches_fixture(name):
+    fixture = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+    recomputed = scenario_trace(name)
+    assert recomputed["state_sha256"] == fixture["state_sha256"], (
+        f"scenario {name!r} final state diverged from the committed "
+        f"golden trace — if the trajectory change is intentional, "
+        f"regenerate with `python -m repro scenario trace {name}`"
+    )
+    # JSON floats round-trip via shortest repr, so this is exact
+    assert recomputed == fixture

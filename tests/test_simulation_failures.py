@@ -165,3 +165,28 @@ class TestEngineUnderChurn:
             eng = self.make_engine(model, g)
             accs.append(eng.run(DPSGD(8)).final_accuracy())
         assert accs[0] == accs[1]
+
+
+class TestFailureProviderBounds:
+    def test_mask_memo_bounded_under_random_crashes(self):
+        import numpy as np
+
+        from repro.topology.graphs import regular_graph
+
+        graph = regular_graph(8, 3, seed=0)
+        model = IndependentCrashes(8, 0.4, rng=np.random.default_rng(0),
+                                   cache_size=512)
+        provider = failure_mixing_provider(graph, model, cache_size=16)
+        for t in range(1, 300):
+            provider(t)
+        idx = provider.__code__.co_freevars.index("cache")
+        assert len(provider.__closure__[idx].cell_contents) <= 16
+
+    def test_cache_size_validated(self):
+        import pytest
+
+        from repro.topology.graphs import regular_graph
+
+        graph = regular_graph(8, 3, seed=0)
+        with pytest.raises(ValueError):
+            failure_mixing_provider(graph, NoFailures(8), cache_size=0)

@@ -263,6 +263,7 @@ class TestArtifactsAndAggregation:
         assert payload["cell"] == {
             "preset": "micro", "algorithm": plan[0].algorithm,
             "degree": 3, "seed": 0, "total_rounds": 12, "kind": "sync",
+            "scenario": "",
         }
         assert 0.0 <= payload["results"]["final_accuracy"] <= 1.0
         assert payload["history"]["records"]
@@ -405,6 +406,7 @@ class TestAsyncOrchestration:
         assert payload["cell"] == {
             "preset": "micro-async", "algorithm": "async-skiptrain",
             "degree": 3, "seed": 0, "total_rounds": 12, "kind": "async",
+            "scenario": "",
         }
         records = payload["history"]["records"]
         assert records, "async artifact must carry time-keyed records"

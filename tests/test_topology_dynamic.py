@@ -141,3 +141,42 @@ class TestEngineWithDynamicTopology:
         for t in range(1, rounds + 1):
             x_dyn = provider(t) @ x_dyn
         assert consensus_distance(x_dyn) < consensus_distance(x_static)
+
+
+class TestRegularGraphEachRound:
+    """The graph-level provider scenario compilation masks over."""
+
+    def test_graph_sequence_matches_weight_provider(self):
+        from repro.topology.dynamic import RegularGraphEachRound
+
+        graphs = RegularGraphEachRound(16, 3, seed=5)
+        weights = RandomRegularEachRound(16, 3, seed=5)
+        for t in (1, 2, 7):
+            np.testing.assert_allclose(
+                metropolis_hastings_weights(graphs(t)).toarray(),
+                weights(t).toarray(),
+            )
+
+    def test_period_holds_graph_constant(self):
+        from repro.topology.dynamic import RegularGraphEachRound
+
+        graphs = RegularGraphEachRound(16, 3, seed=5, period=4)
+        assert set(graphs(1).edges) == set(graphs(4).edges)
+        assert set(graphs(4).edges) != set(graphs(5).edges)
+        assert graphs.epoch(4) == 1 and graphs.epoch(5) == 2
+
+    def test_cache_bounded(self):
+        from repro.topology.dynamic import RegularGraphEachRound
+
+        graphs = RegularGraphEachRound(8, 3, seed=0, cache_size=2)
+        for t in range(1, 10):
+            graphs(t)
+        assert len(graphs._cache) <= 2
+
+    def test_validation(self):
+        from repro.topology.dynamic import RegularGraphEachRound
+
+        with pytest.raises(ValueError):
+            RegularGraphEachRound(8, 3, period=0)
+        with pytest.raises(ValueError):
+            RegularGraphEachRound(8, 3, cache_size=0)
