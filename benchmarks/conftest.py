@@ -16,7 +16,6 @@ Scales:
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 from pathlib import Path

@@ -11,7 +11,7 @@ skipping never has a training-silent round. DESIGN.md §5 item 2.
 import numpy as np
 import pytest
 
-from repro.core import SkipTrain, RoundSchedule
+from repro.core import RoundSchedule
 from repro.core.base import Algorithm
 from repro.experiments import prepare, run_algorithm
 

@@ -10,7 +10,6 @@ Paper shapes checked (CIFAR-like, sparse topology):
 * no node exceeds its battery budget τ_i.
 """
 
-import pytest
 
 from repro.experiments import table4
 

@@ -6,9 +6,8 @@ node nearly the full label set (mild label skew), which is why the
 SkipTrain-vs-D-PSGD gap is larger on CIFAR.
 """
 
-import numpy as np
 
-from repro.data import heterogeneity_score, labels_per_node, partition_datasets
+from repro.data import heterogeneity_score, partition_datasets
 from repro.experiments import figure7, prepare
 
 from .conftest import run_once

@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import frontier_from_grid
-from repro.core import RoundSchedule
 from repro.experiments import grid_search, prepare, run_algorithm
 
 from .conftest import run_once

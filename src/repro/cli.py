@@ -63,7 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_presets = sub.add_parser("presets", help="list experiment presets")
+    sub.add_parser("presets", help="list experiment presets")
 
     p_run = sub.add_parser("run", help="run one algorithm on one preset")
     p_run.add_argument("--preset", default="cifar10-bench")
@@ -233,6 +233,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_conv.add_argument("--preset", default="cifar10-bench")
     p_conv.add_argument("--degree", type=int, default=None)
     p_conv.add_argument("--seed", type=int, default=0)
+
+    p_check = sub.add_parser(
+        "check",
+        help="static determinism & checkpoint-contract linter "
+             "(docs/determinism-contracts.md)",
+    )
+    p_check.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                         help="files or directories to check (default: src)")
+    p_check.add_argument("--format", choices=["text", "json"], default="text")
+    p_check.add_argument("--select", nargs="+", default=None, metavar="RULE",
+                         help="run only these rule ids / prefixes / groups "
+                              "(e.g. rng, cache-bound, fast-rules)")
+    p_check.add_argument("--ignore", nargs="+", default=None, metavar="RULE",
+                         help="skip these rule ids / prefixes / groups")
+    p_check.add_argument("--baseline", action="store_true",
+                         help="filter findings through the committed "
+                              "baseline; new findings AND stale entries "
+                              "fail (CI drift detection)")
+    p_check.add_argument("--baseline-file", default=None, metavar="FILE",
+                         help="baseline path (default: .repro-baseline.json "
+                              "in the current directory)")
+    p_check.add_argument("--write-baseline", action="store_true",
+                         help="rewrite the baseline from current findings "
+                              "(grandfathering; every entry still needs a "
+                              "justification note before CI passes)")
+    p_check.add_argument("--show-suppressed", action="store_true",
+                         help="also list suppressed findings with reasons")
+    p_check.add_argument("--list-rules", action="store_true",
+                         help="print the rule inventory and exit")
 
     return parser
 
@@ -665,6 +694,62 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .statics import (
+        all_rules,
+        check_paths,
+        format_json,
+        format_text,
+        load_baseline,
+        write_baseline,
+    )
+    from .statics.baseline import DEFAULT_BASELINE
+
+    if args.list_rules:
+        for rule in all_rules():
+            group = "fast" if rule.fast else "deep"
+            print(f"{rule.rule_id:20s} [{group}] {rule.title}")
+        return 0
+    root = Path.cwd()
+    paths = [Path(p) for p in (args.paths or ["src"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+    baseline_file = Path(
+        args.baseline_file if args.baseline_file is not None
+        else root / DEFAULT_BASELINE
+    )
+    try:
+        result = check_paths(
+            paths, root, select=args.select, ignore=args.ignore,
+            baseline_path=baseline_file, use_baseline=args.baseline,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        notes = {
+            (e["rule"], e["path"], e["message"]): str(e.get("note", ""))
+            for e in (load_baseline(baseline_file) if baseline_file.is_file()
+                      else [])
+        }
+        count = write_baseline(baseline_file, result.findings, notes)
+        print(f"wrote {count} baseline entr(y/ies) to {baseline_file}")
+        if count:
+            print("every entry needs a justification in its 'note' field "
+                  "before `repro check --baseline` passes")
+        return 0
+    if args.format == "json":
+        print(format_json(result))
+    else:
+        print(format_text(result, verbose_suppressed=args.show_suppressed))
+    return result.exit_code
+
+
 def _cmd_convergence(args: argparse.Namespace) -> int:
     from .experiments import convergence_study, get_preset
 
@@ -699,4 +784,6 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_aggregate(args)
     if args.command == "convergence":
         return _cmd_convergence(args)
+    if args.command == "check":
+        return _cmd_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")

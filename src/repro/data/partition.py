@@ -50,7 +50,7 @@ def shard_partition(
     _validate(n_nodes, labels.shape[0])
     if shards_per_node <= 0:
         raise ValueError("shards_per_node must be positive")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)  # repro: allow[rng-default-rng] -- seeded literal fallback, deterministic for standalone use
 
     order = np.argsort(labels, kind="stable")
     num_shards = n_nodes * shards_per_node

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..analysis.diagnostics import accuracy_auc, empirical_contraction_rate
 from ..simulation.metrics import RunHistory

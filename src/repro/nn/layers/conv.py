@@ -33,7 +33,7 @@ class Conv2d(Module):
     ) -> None:
         if kernel_size <= 0 or stride <= 0 or padding < 0:
             raise ValueError("invalid conv hyperparameters")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else np.random.default_rng(0)  # repro: allow[rng-default-rng] -- seeded literal fallback, deterministic for standalone use
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size

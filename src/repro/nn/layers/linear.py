@@ -28,7 +28,7 @@ class Linear(Module):
     ) -> None:
         if in_features <= 0 or out_features <= 0:
             raise ValueError("feature dimensions must be positive")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        rng = rng if rng is not None else np.random.default_rng(0)  # repro: allow[rng-default-rng] -- seeded literal fallback, deterministic for standalone use
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(

@@ -36,7 +36,7 @@ def gn_lenet_cifar10(rng: np.random.Generator | None = None) -> Module:
     Three conv+GroupNorm+ReLU+pool stages followed by a linear
     classifier, matching the DecentralizePy GN-LeNet the paper trains.
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)  # repro: allow[rng-default-rng] -- seeded literal fallback, deterministic for standalone use
     return Sequential(
         Conv2d(3, 32, 5, padding=2, rng=rng),
         GroupNorm(2, 32),
@@ -57,7 +57,7 @@ def gn_lenet_cifar10(rng: np.random.Generator | None = None) -> Module:
 
 def cnn_femnist(rng: np.random.Generator | None = None) -> Module:
     """LEAF-style CNN for 1x28x28 inputs, 62 classes — 1 690 046 parameters."""
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)  # repro: allow[rng-default-rng] -- seeded literal fallback, deterministic for standalone use
     return Sequential(
         Conv2d(1, 32, 5, padding=2, rng=rng),
         ReLU(),
@@ -84,7 +84,7 @@ def small_cnn(
     One conv+pool stage and a linear head: the same inductive family as
     the paper's CNNs at a fraction of the FLOPs.
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)  # repro: allow[rng-default-rng] -- seeded literal fallback, deterministic for standalone use
     pooled = image_size // 2
     return Sequential(
         Conv2d(in_channels, channels, 3, padding=1, rng=rng),
@@ -102,7 +102,7 @@ def small_mlp(
     rng: np.random.Generator | None = None,
 ) -> Module:
     """Two-layer MLP over flattened inputs for fast sweeps."""
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)  # repro: allow[rng-default-rng] -- seeded literal fallback, deterministic for standalone use
     return Sequential(
         Flatten(),
         Linear(in_features, hidden, rng=rng),
@@ -116,5 +116,5 @@ def logistic_regression(
 ) -> Module:
     """Linear softmax classifier: the smallest model that still exhibits
     the non-IID drift / mixing dynamics the paper studies."""
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)  # repro: allow[rng-default-rng] -- seeded literal fallback, deterministic for standalone use
     return Sequential(Flatten(), Linear(in_features, num_classes, rng=rng))

@@ -56,7 +56,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _LAZY:
         from . import compile as _compile
 

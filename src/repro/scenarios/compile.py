@@ -34,7 +34,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Protocol
 
 import numpy as np
 
@@ -66,7 +66,18 @@ from .churn import ChurnSchedule
 from .spec import ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx as nx
+    import scipy.sparse as sp
+
     from ..experiments.artifacts import PlanCell
+
+    class DynamicGraph(Protocol):
+        """A ``t -> Graph`` generator that knows its node count
+        (:class:`~repro.topology.dynamic.RegularGraphEachRound` shape)."""
+
+        n_nodes: int
+
+        def __call__(self, t: int) -> nx.Graph: ...
 
 __all__ = [
     "CompiledRun",
@@ -112,11 +123,11 @@ def validate_composition(spec: ScenarioSpec, kind: str = "auto") -> str:
 
 
 def scenario_mixing_provider(
-    graph,
+    graph: nx.Graph | DynamicGraph,
     churn: ChurnSchedule | None = None,
     failure_model: FailureModel | None = None,
     cache_size: int = 64,
-):
+) -> Callable[[int], sp.csr_matrix]:
     """Per-round mixing provider over the eligible (member ∧ alive)
     subgraph of ``graph``.
 
@@ -138,8 +149,7 @@ def scenario_mixing_provider(
         )
     if cache_size <= 0:
         raise ValueError("cache_size must be positive")
-    static = not callable(graph)
-    n = graph.number_of_nodes() if static else graph.n_nodes
+    n = graph.n_nodes if callable(graph) else graph.number_of_nodes()
     all_on = np.ones(n, dtype=bool)
 
     def eligible(t: int) -> np.ndarray:
@@ -150,24 +160,26 @@ def scenario_mixing_provider(
             mask = mask & failure_model.alive(t)
         return mask
 
-    if static:
-        cache: dict[bytes, object] = {}
+    if not callable(graph):
+        static_graph = graph
+        cache: dict[bytes, sp.csr_matrix] = {}
 
-        def provider(t: int):
+        def provider(t: int) -> sp.csr_matrix:
             mask = eligible(t)
             if mask.tobytes() not in cache and len(cache) >= cache_size:
                 cache.pop(next(iter(cache)))  # oldest insertion
-            return masked_mixing(graph, mask, cache)
+            return masked_mixing(static_graph, mask, cache)
 
         return provider
 
-    lru: dict[int, object] = {}
+    dyn_graph = graph
+    lru: dict[int, sp.csr_matrix] = {}
 
-    def dyn_provider(t: int):
+    def dyn_provider(t: int) -> sp.csr_matrix:
         if t not in lru:
             if len(lru) >= cache_size:
                 lru.pop(min(lru))
-            lru[t] = masked_mixing(graph(t), eligible(t))
+            lru[t] = masked_mixing(dyn_graph(t), eligible(t))
         return lru[t]
 
     return dyn_provider
@@ -355,7 +367,7 @@ def _sync_mixing(
     seed: int,
     churn: ChurnSchedule | None,
     failure_model: FailureModel | None,
-):
+) -> Callable[[int], sp.csr_matrix] | None:
     """The sync engine's mixing argument for a scenario: ``None``
     (prepared static matrix), a plain dynamic provider, or a
     churn/failure-masked provider over the scenario graph."""
@@ -403,7 +415,7 @@ def run_scenario(
 
 def build_scenario_plan(
     spec: ScenarioSpec,
-    seeds=(0, 1, 2),
+    seeds: tuple[int, ...] = (0, 1, 2),
     total_rounds: int | None = None,
     preset: ExperimentPreset | None = None,
 ) -> "tuple[PlanCell, ...]":

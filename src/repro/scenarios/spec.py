@@ -18,6 +18,10 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .churn import ChurnSchedule
 
 __all__ = [
     "TopologySpec",
@@ -117,7 +121,7 @@ class ChurnSpec:
     def active(self) -> bool:
         return bool(self.events) or bool(self.initially_absent)
 
-    def build(self, n_nodes: int):
+    def build(self, n_nodes: int) -> ChurnSchedule | None:
         """Materialize the validated :class:`ChurnSchedule` (or ``None``
         when the spec declares no churn)."""
         from .churn import ChurnSchedule
@@ -395,7 +399,7 @@ class ScenarioSpec:
     def from_json(cls, text: str) -> "ScenarioSpec":
         return cls.from_dict(json.loads(text))
 
-    def replace(self, **changes) -> "ScenarioSpec":
+    def replace(self, **changes: Any) -> "ScenarioSpec":
         """A copy with fields replaced (dataclasses.replace re-running
         validation)."""
         return dataclasses.replace(self, **changes)

@@ -84,7 +84,7 @@ def _engine_payload(engine: SimulationEngine, round_index: int) -> dict:
     return payload
 
 
-def _restore_engine(engine: SimulationEngine, archive) -> int:
+def _restore_engine(engine: SimulationEngine, archive: np.lib.npyio.NpzFile) -> int:
     state = archive["state"]
     if state.shape != engine.state.shape:
         raise ValueError(

@@ -191,7 +191,7 @@ class SimulationEngine:
         self.config = config
         self.test_set = test_set
         self.meter = meter
-        self.eval_rng = eval_rng if eval_rng is not None else np.random.default_rng(0)
+        self.eval_rng = eval_rng if eval_rng is not None else np.random.default_rng(0)  # repro: allow[rng-default-rng] -- seeded literal fallback, deterministic for standalone use
         self.compressor = compressor
         self.failure_model = failure_model
         self.churn = churn

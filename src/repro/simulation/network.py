@@ -11,7 +11,7 @@ counters ground the communication-energy model in actual bytes moved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp

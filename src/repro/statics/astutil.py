@@ -1,0 +1,62 @@
+"""Small AST helpers shared by the rules: import-alias resolution and
+dotted-name extraction, so ``np.random.rand``, ``numpy.random.rand``
+and ``from numpy.random import rand`` all resolve to the same canonical
+name."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportMap", "dotted_parts"]
+
+
+def dotted_parts(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` attribute chain as ``["a", "b", "c"]``; ``None`` for
+    anything that is not a pure Name/Attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+class ImportMap:
+    """Local name → canonical dotted path, from a module's imports.
+
+    ``import numpy as np`` binds ``np → numpy``; ``from numpy.random
+    import default_rng as mk`` binds ``mk → numpy.random.default_rng``;
+    relative imports are recorded with their leading dots stripped
+    (rules only match absolute stdlib/third-party names, so relative
+    bindings can never collide with them).
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.bindings[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a``
+                        root = alias.name.split(".")[0]
+                        self.bindings[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    full = f"{module}.{alias.name}" if module else alias.name
+                    self.bindings[local] = full
+
+    def resolve_call(self, func: ast.AST) -> str | None:
+        """Canonical dotted name of a call target, or ``None`` when the
+        root name was not bound by an import (``self.time()`` must not
+        resolve to ``time.time``)."""
+        parts = dotted_parts(func)
+        if parts is None or parts[0] not in self.bindings:
+            return None
+        return ".".join([self.bindings[parts[0]], *parts[1:]])

@@ -1,0 +1,115 @@
+"""Committed-baseline codec for grandfathered findings.
+
+A baseline entry records a known, deliberately-unfixed finding as
+``{rule, path, message, count, note}`` — line numbers are excluded so
+unrelated edits never invalidate it, and ``note`` forces every
+grandfathered finding to carry a written justification (an entry
+without one is reported as unexplained). ``repro check --baseline``
+then fails on any finding *not* in the baseline (new debt) and on any
+entry no longer observed (stale debt — regenerate with
+``--write-baseline`` so the ledger shrinks as findings are fixed).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .finding import Finding
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_BASELINE",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "unexplained_entries",
+]
+
+BASELINE_SCHEMA = "repro/check-baseline/v1"
+
+#: repo-root-relative default location, committed alongside the code
+DEFAULT_BASELINE = ".repro-baseline.json"
+
+Key = tuple[str, str, str]  # (rule, path, message)
+
+
+def load_baseline(path: Path) -> list[dict]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.is_file():
+        return []
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path} is not a {BASELINE_SCHEMA} baseline file"
+        )
+    entries = data.get("entries", [])
+    for entry in entries:
+        for field in ("rule", "path", "message"):
+            if not isinstance(entry.get(field), str):
+                raise ValueError(f"baseline entry lacks {field!r}: {entry}")
+        entry.setdefault("count", 1)
+        entry.setdefault("note", "")
+    return entries
+
+
+def write_baseline(path: Path, findings: Iterable[Finding],
+                   notes: dict[Key, str] | None = None) -> int:
+    """Write the current findings as the new baseline (sorted, stable
+    diffs). Existing notes for surviving entries are carried over when
+    passed in. Returns the number of entries written."""
+    counts: Counter[Key] = Counter(f.baseline_key() for f in findings)
+    entries = [
+        {
+            "rule": rule,
+            "path": rel,
+            "message": message,
+            "count": count,
+            "note": (notes or {}).get((rule, rel, message), ""),
+        }
+        for (rule, rel, message), count in sorted(counts.items())
+    ]
+    payload = {"schema": BASELINE_SCHEMA, "entries": entries}
+    # the baseline is the linter's own ledger, not a sweep artifact
+    path.write_text(  # repro: allow[artifact-codec] -- linter-owned ledger, not a result record
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[dict]
+) -> tuple[list[Finding], list[dict]]:
+    """Split observed findings against the baseline ledger.
+
+    Returns ``(new_findings, stale_entries)``: findings beyond each
+    entry's grandfathered ``count`` are new; entries observed fewer
+    times than recorded are stale (the finding was fixed — the ledger
+    must shrink with it).
+    """
+    budget: Counter[Key] = Counter()
+    for entry in entries:
+        budget[(entry["rule"], entry["path"], entry["message"])] += int(
+            entry.get("count", 1)
+        )
+    new: list[Finding] = []
+    seen: Counter[Key] = Counter()
+    for finding in sorted(findings):
+        key = finding.baseline_key()
+        seen[key] += 1
+        if seen[key] > budget.get(key, 0):
+            new.append(finding)
+    stale = [
+        entry for entry in entries
+        if seen.get((entry["rule"], entry["path"], entry["message"]), 0)
+        < int(entry.get("count", 1))
+    ]
+    return new, stale
+
+
+def unexplained_entries(entries: Sequence[dict]) -> list[dict]:
+    """Baseline entries with no written justification — the acceptance
+    bar is zero of these."""
+    return [e for e in entries if not str(e.get("note", "")).strip()]

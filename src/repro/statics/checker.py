@@ -1,0 +1,222 @@
+"""The check runner: walk files, run rules, apply suppressions and the
+baseline, format results.
+
+Two meta-rules live here rather than in the registry (they police the
+suppression mechanism itself, so they can never be suppressed or
+deselected away while their targets run):
+
+* ``allow-needs-reason`` — every ``# repro: allow[...]`` must carry a
+  ``-- reason`` clause.
+* ``allow-unused`` — a suppression whose rule produced no finding on
+  its line is dead weight and must be removed (only reported when the
+  full default rule set runs, so partial ``--select`` runs never
+  misfire it).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    unexplained_entries,
+)
+from .finding import Finding
+from .rule import FileContext, Rule, resolve_rules
+from .suppress import Suppression, collect_suppressions
+
+__all__ = ["CheckResult", "check_paths", "iter_python_files",
+           "format_text", "format_json", "META_RULES"]
+
+#: meta rule ids (not in the registry; never suppressible)
+META_RULES = ("syntax-error", "allow-needs-reason", "allow-unused")
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one ``repro check`` invocation."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, Suppression]] = field(default_factory=list)
+    stale_baseline: list[dict] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings or self.stale_baseline else 0
+
+
+def iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.add(path)
+        else:
+            raise ValueError(f"not a Python file or directory: {path}")
+    return sorted(out)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _check_file(
+    path: Path, root: Path, rules: Sequence[Rule], full_run: bool
+) -> tuple[list[Finding], list[tuple[Finding, Suppression]]]:
+    rel = _relpath(path, root)
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(path=rel, line=exc.lineno or 1, col=exc.offset or 1,
+                    rule="syntax-error", message=f"cannot parse: {exc.msg}")
+        ], []
+    ctx = FileContext(path=path, rel=rel, tree=tree, source=source)
+    raw: list[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(ctx))
+
+    suppressions = collect_suppressions(source)
+    by_line: dict[int, list[Suppression]] = {}
+    for sup in suppressions:
+        by_line.setdefault(sup.applies_to, []).append(sup)
+        if sup.applies_to != sup.line:
+            by_line.setdefault(sup.line, []).append(sup)
+
+    kept: list[Finding] = []
+    suppressed: list[tuple[Finding, Suppression]] = []
+    for finding in raw:
+        match = next(
+            (sup for sup in by_line.get(finding.line, ())
+             if finding.rule in sup.rules and sup.reason),
+            None,
+        )
+        if match is not None:
+            match.used_by.append(finding.rule)
+            suppressed.append((finding, match))
+        else:
+            kept.append(finding)
+
+    rule_ids = {rule.rule_id for rule in rules}
+    for sup in suppressions:
+        if not sup.reason:
+            kept.append(Finding(
+                path=rel, line=sup.line, col=1, rule="allow-needs-reason",
+                message="suppression without a '-- reason' clause; every "
+                        "allow must be justified",
+            ))
+        elif full_run and not sup.used_by:
+            known = [r for r in sup.rules if r in rule_ids]
+            if known:
+                kept.append(Finding(
+                    path=rel, line=sup.line, col=1, rule="allow-unused",
+                    message=f"suppression for {', '.join(sup.rules)} "
+                            f"matched no finding on this line; remove it",
+                ))
+            else:
+                kept.append(Finding(
+                    path=rel, line=sup.line, col=1, rule="allow-unused",
+                    message=f"suppression names unknown rule(s) "
+                            f"{', '.join(sup.rules)}",
+                ))
+    return kept, suppressed
+
+
+def check_paths(
+    paths: Sequence[Path],
+    root: Path,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    baseline_path: Path | None = None,
+    use_baseline: bool = False,
+) -> CheckResult:
+    """Run the selected rules over ``paths``.
+
+    With ``use_baseline`` the committed baseline at ``baseline_path``
+    (default ``<root>/.repro-baseline.json``) filters known findings;
+    entries without a justification note, and entries whose finding no
+    longer exists, are both reported so the ledger stays honest.
+    """
+    rules = resolve_rules(select, ignore)
+    full_run = select is None and ignore is None
+    result = CheckResult(rules_run=[r.rule_id for r in rules])
+    for path in iter_python_files(paths):
+        kept, suppressed = _check_file(path, root, rules, full_run)
+        result.findings.extend(kept)
+        result.suppressed.extend(suppressed)
+        result.files_checked += 1
+    result.findings.sort()
+
+    if use_baseline:
+        if baseline_path is None:
+            baseline_path = root / DEFAULT_BASELINE
+        entries = load_baseline(baseline_path)
+        new, stale = apply_baseline(result.findings, entries)
+        result.findings = new
+        result.stale_baseline = list(stale)
+        for entry in unexplained_entries(entries):
+            result.findings.append(Finding(
+                path=entry["path"], line=0, col=0, rule="allow-needs-reason",
+                message=f"baseline entry for [{entry['rule']}] "
+                        f"{entry['message']!r} has no justification note",
+            ))
+        result.findings.sort()
+    return result
+
+
+def format_text(result: CheckResult, verbose_suppressed: bool = False) -> str:
+    lines = [f.render() for f in result.findings]
+    for entry in result.stale_baseline:
+        lines.append(
+            f"{entry['path']}: [baseline-stale] grandfathered finding "
+            f"[{entry['rule']}] {entry['message']!r} no longer occurs "
+            f"({entry.get('count', 1)}x); regenerate with --write-baseline"
+        )
+    if verbose_suppressed:
+        for finding, sup in result.suppressed:
+            lines.append(
+                f"{finding.path}:{finding.line}: suppressed [{finding.rule}]"
+                f" -- {sup.reason}"
+            )
+    n = len(result.findings)
+    stale = len(result.stale_baseline)
+    summary = (
+        f"checked {result.files_checked} files with "
+        f"{len(result.rules_run)} rules: "
+        + (f"{n} finding(s)" if n else "clean")
+        + (f", {stale} stale baseline entr(y/ies)" if stale else "")
+        + (f", {len(result.suppressed)} suppressed" if result.suppressed
+           else "")
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(result: CheckResult) -> str:
+    payload = {
+        "schema": "repro/check-report/v1",
+        "files_checked": result.files_checked,
+        "rules_run": result.rules_run,
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [
+            {**f.to_dict(), "reason": sup.reason}
+            for f, sup in result.suppressed
+        ],
+        "stale_baseline": result.stale_baseline,
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)

@@ -1,0 +1,45 @@
+"""The unit of linter output: one finding at one source location.
+
+Findings are value objects: the checker sorts them, the text/json
+formatters render them, and the baseline codec keys them by
+``(rule, path, message)`` — line numbers drift under unrelated edits,
+so they never enter the baseline identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is the scan-root-relative posix path, so findings (and the
+    baseline built from them) are machine-independent.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching — deliberately excludes
+        line/col so grandfathered findings survive unrelated edits."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"

@@ -1,0 +1,151 @@
+"""Rule framework: the ``Rule`` base class and the rule registry.
+
+A rule is an AST-level check with a stable kebab-case id. Rules
+register themselves at import time via :func:`register`; the checker
+resolves ``--select``/``--ignore`` expressions (exact ids, ``rng``-style
+prefixes, or the ``fast-rules`` group) against the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Type
+
+from .finding import Finding
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "resolve_rules",
+    "RULE_GROUPS",
+]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file: the parsed tree,
+    the raw source, and the scan-root-relative posix path."""
+
+    path: Path
+    rel: str
+    tree: ast.Module
+    source: str
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return tuple(self.rel.split("/"))
+
+    def in_packages(self, names: Iterable[str]) -> bool:
+        """Whether any *directory* segment of the path names one of the
+        given packages (``simulation``, ``core``, ...). Scoping is by
+        directory name so fixture trees scope exactly like ``src``."""
+        return bool(set(self.parts[:-1]) & set(names))
+
+    def is_module(self, dirname: str, filename: str) -> bool:
+        """Whether this file is ``.../<dirname>/<filename>``."""
+        parts = self.parts
+        return len(parts) >= 2 and parts[-1] == filename and parts[-2] == dirname
+
+    def finding(self, node: ast.AST, rule: "Rule", message: str) -> Finding:
+        return Finding(
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule.rule_id,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for one registered check.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``fast`` marks rules cheap enough for the pre-commit ``fast-rules``
+    group (single-pass visitors; whole-class dataflow analyses opt out).
+    """
+
+    #: stable kebab-case identifier, used in suppressions and baselines
+    rule_id: str = ""
+    #: one-line summary shown by ``repro check --list-rules``
+    title: str = ""
+    #: the invariant the rule protects (docs/determinism-contracts.md)
+    rationale: str = ""
+    #: member of the ``fast-rules`` pre-commit group
+    fast: bool = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rule {self.rule_id}>"
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+#: named selection groups for ``--select`` (pre-commit runs fast-rules)
+RULE_GROUPS: dict[str, str] = {"fast-rules": "fast"}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register one rule."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id (rule modules import on
+    package import, so the registry is complete by the time callers
+    see it)."""
+    from . import rules as _rules  # noqa: F401  (import registers rules)
+
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def _matches(rule: Rule, expr: str) -> bool:
+    if expr in RULE_GROUPS:
+        return bool(getattr(rule, RULE_GROUPS[expr]))
+    return rule.rule_id == expr or rule.rule_id.startswith(expr + "-")
+
+
+def resolve_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """Resolve ``--select``/``--ignore`` expressions to rule instances.
+
+    Expressions are exact ids (``cache-bound``), dash-prefixes
+    (``rng`` selects every ``rng-*`` rule), or group names
+    (``fast-rules``). Unknown expressions raise ``ValueError`` so typos
+    fail loudly instead of silently checking nothing.
+    """
+    rules = all_rules()
+    known = {r.rule_id for r in rules}
+
+    def validate(exprs: Iterable[str]) -> None:
+        for expr in exprs:
+            if expr in RULE_GROUPS:
+                continue
+            if not any(_matches(r, expr) for r in rules):
+                raise ValueError(
+                    f"unknown rule or prefix {expr!r}; known rules: "
+                    f"{sorted(known)}"
+                )
+
+    if select is not None:
+        select = list(select)
+        validate(select)
+        rules = [r for r in rules if any(_matches(r, e) for e in select)]
+    if ignore is not None:
+        ignore = list(ignore)
+        validate(ignore)
+        rules = [r for r in rules if not any(_matches(r, e) for e in ignore)]
+    return rules

@@ -1,0 +1,22 @@
+"""Rule modules. Importing this package registers every rule.
+
+Current inventory (``repro check --list-rules`` prints it live):
+
+* ``rng-global-state`` / ``rng-module-import`` / ``rng-default-rng`` —
+  RNG discipline: every stream flows from RngFactory.
+* ``det-wallclock`` / ``det-id-order`` / ``det-set-iter`` —
+  determinism hazards in the engine packages.
+* ``state-pair`` — state_dict ⇔ load_state_dict pairing.
+* ``checkpoint-fields`` — mutated __init__ state must checkpoint.
+* ``cache-bound`` — dict caches must show an eviction bound.
+* ``artifact-codec`` — result JSON goes through the artifacts codec.
+"""
+
+from . import (  # noqa: F401  (import side effect: rule registration)
+    artifact,
+    caches,
+    checkpoint,
+    determinism,
+    rng,
+    state_contract,
+)

@@ -1,0 +1,72 @@
+"""Artifact-schema hygiene: result JSON goes through the codec.
+
+Sweep artifacts are self-describing, schema-versioned, atomically
+written files (``experiments/artifacts.py``); aggregation, resume
+detection and byte-identity tests all assume every producer uses that
+one codec. An ad-hoc ``json.dump`` of result records bypasses the
+schema header, NaN policy and atomic-rename discipline, so files it
+writes silently fall out of the pipeline.
+
+Flagged anywhere in the tree: ``json.dump(...)`` (the file-writing
+form) and ``<path>.write_text(json.dumps(...))`` / ``f.write(
+json.dumps(...))`` — except inside a file named ``artifacts.py``,
+which *is* the codec. Building JSON strings for stdout, logs or
+non-artifact payloads (``json.dumps`` alone) is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import ImportMap
+from ..finding import Finding
+from ..rule import FileContext, Rule, register
+
+
+@register
+class ArtifactCodec(Rule):
+    rule_id = "artifact-codec"
+    title = "JSON file writes go through experiments/artifacts.py"
+    rationale = (
+        "artifacts are schema-versioned and atomically replaced; an "
+        "ad-hoc json.dump skips the header, allow_nan policy and tmp+"
+        "rename discipline, producing files the aggregator cannot trust"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.parts[-1] == "artifacts.py":
+            return
+        imports = ImportMap(ctx.tree)
+
+        def is_json_fn(node: ast.AST, fn: str) -> bool:
+            return isinstance(node, ast.Call) and (
+                imports.resolve_call(node.func) == f"json.{fn}"
+            )
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if is_json_fn(node, "dump"):
+                yield ctx.finding(
+                    node, self,
+                    "ad-hoc json.dump: write artifacts through the "
+                    "experiments/artifacts.py codec",
+                )
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("write_text", "write")
+            ):
+                for arg in node.args:
+                    if any(
+                        is_json_fn(sub, "dumps") for sub in ast.walk(arg)
+                    ):
+                        yield ctx.finding(
+                            node, self,
+                            f".{func.attr}(json.dumps(...)): write "
+                            f"artifacts through the experiments/"
+                            f"artifacts.py codec",
+                        )
+                        break

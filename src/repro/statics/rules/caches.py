@@ -1,0 +1,144 @@
+"""Bounded caches: a dict named like a cache must show an eviction.
+
+Unbounded memo dicts are the bug class this repo has fixed twice
+already (the ``IndependentCrashes`` round memo and the scenario mixing
+mask memo): a per-round cache that never evicts turns a million-round
+run into a memory leak. Any ``{}``/``dict()`` bound to a name matching
+``cache``/``memo`` — module-level, ``self.*``, or function-local — must
+have a visible eviction in its owning scope: ``.pop``/``.popitem``/
+``.clear`` or ``del d[...]`` on the same name.
+
+A deliberately unbounded table should not be *named* a cache; rename
+it (registry, table) or suppress with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..finding import Finding
+from ..rule import FileContext, Rule, register
+
+_CACHE_NAME = re.compile(r"cache|memo", re.IGNORECASE)
+
+_DICT_FACTORIES = frozenset({"dict", "OrderedDict", "defaultdict", "Counter"})
+
+
+def _is_dict_construction(node: ast.AST | None) -> bool:
+    if isinstance(node, ast.Dict):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _DICT_FACTORIES
+    return False
+
+
+def _target_name(target: ast.AST) -> tuple[str, str] | None:
+    """(kind, name) for plain-name or self-attribute targets."""
+    if isinstance(target, ast.Name):
+        return ("name", target.id)
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return ("attr", target.attr)
+    return None
+
+
+def _evicts(scope: ast.AST, kind: str, name: str) -> bool:
+    """Whether ``scope`` contains an eviction on the cache name."""
+
+    def matches(node: ast.AST) -> bool:
+        got = _target_name(node)
+        return got is not None and got == (kind, name)
+
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("pop", "popitem", "clear")
+                and matches(func.value)
+            ):
+                return True
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and matches(target.value):
+                    return True
+                if matches(target):
+                    return True
+    return False
+
+
+@register
+class CacheBound(Rule):
+    rule_id = "cache-bound"
+    title = "dict caches must show an eviction bound"
+    rationale = (
+        "an unbounded per-round/per-key memo grows for the life of the "
+        "run — the leak class fixed twice in PRs 4-5; evict (oldest-key "
+        "pop) or rename if the table is genuinely finite"
+    )
+    #: scope-resolution pass rather than a single visit — keep it out
+    #: of the pre-commit fast path alongside checkpoint-fields
+    fast = False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # scope stack: innermost enclosing function, class, or module
+        findings: list[Finding] = []
+
+        def visit(node: ast.AST, scopes: list[ast.AST]) -> None:
+            enter = isinstance(
+                node,
+                (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef,
+                 ast.ClassDef),
+            )
+            if enter:
+                scopes = scopes + [node]
+            for child in ast.iter_child_nodes(node):
+                visit(child, scopes)
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if not _is_dict_construction(value):
+                    return
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    got = _target_name(target)
+                    if got is None or not _CACHE_NAME.search(got[1]):
+                        continue
+                    kind, name = got
+                    # self.* caches are owned by the class; locals and
+                    # globals by the nearest function/module scope
+                    owner = None
+                    for scope in reversed(scopes):
+                        if kind == "attr" and isinstance(scope, ast.ClassDef):
+                            owner = scope
+                            break
+                        if kind == "name" and isinstance(
+                            scope,
+                            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module),
+                        ):
+                            owner = scope
+                            break
+                    if owner is None or not _evicts(owner, kind, name):
+                        label = f"self.{name}" if kind == "attr" else name
+                        findings.append(ctx.finding(
+                            node, self,
+                            f"dict cache {label!r} has no visible eviction "
+                            f"(.pop/.popitem/.clear/del) in its owning "
+                            f"scope; bound it like the oldest-key caches "
+                            f"in simulation/failures.py",
+                        ))
+
+        visit(ctx.tree, [])
+        yield from findings

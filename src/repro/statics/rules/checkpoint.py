@@ -1,0 +1,197 @@
+"""Checkpoint completeness: mutable ``__init__`` state must be saved.
+
+For every class that implements the ``state_dict``/``load_state_dict``
+pair, each attribute assigned in ``__init__`` that the class later
+*mutates* (reassignment, ``+=``, item writes, ``.append``/``.update``/
+heap pushes, ...) — or that holds an rng stream — must be visible in
+``state_dict`` (read as ``self.attr`` or named as a string key, with
+leading underscores ignored) or be listed in a class-level
+``_CHECKPOINT_EXEMPT`` tuple. This is exactly the defect class that
+breaks kill+resume byte-identity: a field the run mutates but the
+checkpoint forgets.
+
+Immutable configuration (node counts, schedules, derived probability
+tables) is never flagged — only post-construction mutation marks an
+attribute as run state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..finding import Finding
+from ..rule import FileContext, Rule, register
+
+#: method names that legitimately rewrite state without being "the run
+#: mutating it": construction and checkpoint-restore
+_RESTORE_METHODS = frozenset({"__init__", "load_state_dict"})
+
+#: method calls on an attribute that mutate the container in place
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "popleft", "appendleft", "remove", "discard",
+    "clear", "fill", "sort", "reverse",
+})
+
+#: free functions that mutate their first argument (heap discipline)
+_MUTATING_FNS = frozenset({"heappush", "heappop", "heapify", "heappushpop",
+                           "heapreplace", "shuffle"})
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` → ``"X"`` (one level only)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _exempt_names(cls: ast.ClassDef) -> set[str]:
+    """Names listed in a class-level ``_CHECKPOINT_EXEMPT`` tuple."""
+    out: set[str] = set()
+    for item in cls.body:
+        if not isinstance(item, ast.Assign):
+            continue
+        for target in item.targets:
+            if isinstance(target, ast.Name) and target.id == "_CHECKPOINT_EXEMPT":
+                if isinstance(item.value, (ast.Tuple, ast.List, ast.Set)):
+                    for elt in item.value.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(
+                            elt.value, str
+                        ):
+                            out.add(elt.value)
+    return out
+
+
+def _init_attrs(init: ast.FunctionDef) -> dict[str, int]:
+    """Attribute name → first assignment line, for ``self.X = ...`` and
+    ``self.X: T = ...`` statements anywhere in ``__init__``."""
+    attrs: dict[str, int] = {}
+    for node in ast.walk(init):
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            name = _self_attr(target)
+            if name is not None and name not in attrs:
+                attrs[name] = node.lineno
+    return attrs
+
+
+def _mutated_attrs(methods: list[ast.FunctionDef]) -> dict[str, str]:
+    """Attribute name → method that mutates it post-construction."""
+    mutated: dict[str, str] = {}
+
+    def mark(name: str | None, method: str) -> None:
+        if name is not None and name not in mutated:
+            mutated[name] = method
+
+    for fn in methods:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    mark(_self_attr(target), fn.name)
+                    if isinstance(target, (ast.Subscript, ast.Starred)):
+                        mark(_self_attr(target.value), fn.name)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                target = node.target
+                mark(_self_attr(target), fn.name)
+                if isinstance(target, ast.Subscript):
+                    mark(_self_attr(target.value), fn.name)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        mark(_self_attr(target.value), fn.name)
+                    else:
+                        mark(_self_attr(target), fn.name)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS
+                ):
+                    mark(_self_attr(func.value), fn.name)
+                fn_name = (
+                    func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None
+                )
+                if fn_name in _MUTATING_FNS and node.args:
+                    mark(_self_attr(node.args[0]), fn.name)
+    return mutated
+
+
+def _covered_names(state_dict_fn: ast.FunctionDef) -> set[str]:
+    """Names visible inside ``state_dict``: attribute reads and string
+    constants (key names), with leading underscores stripped so
+    ``self._history_total`` may surface as ``"history_total"``."""
+    covered: set[str] = set()
+    for node in ast.walk(state_dict_fn):
+        name = _self_attr(node)
+        if name is not None:
+            covered.add(name)
+            covered.add(name.lstrip("_"))
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            covered.add(node.value)
+    return covered
+
+
+@register
+class CheckpointFields(Rule):
+    rule_id = "checkpoint-fields"
+    title = "mutated __init__ attributes must appear in state_dict"
+    rationale = (
+        "an attribute the run mutates but state_dict omits makes "
+        "kill+resume silently diverge from the uninterrupted run; "
+        "save it, or justify via _CHECKPOINT_EXEMPT"
+    )
+    #: whole-class dataflow analysis — excluded from the pre-commit
+    #: fast-rules group
+    fast = False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            methods = {
+                item.name: item
+                for item in cls.body
+                if isinstance(item, ast.FunctionDef)
+            }
+            if "state_dict" not in methods or "load_state_dict" not in methods:
+                continue
+            init = methods.get("__init__")
+            if init is None:
+                continue
+            attrs = _init_attrs(init)
+            mutated = _mutated_attrs(
+                [fn for name, fn in methods.items()
+                 if name not in _RESTORE_METHODS]
+            )
+            covered = _covered_names(methods["state_dict"])
+            exempt = _exempt_names(cls)
+            for name, lineno in sorted(attrs.items(), key=lambda kv: kv[1]):
+                is_rng = "rng" in name.lower()
+                if name not in mutated and not is_rng:
+                    continue  # never mutated after construction: config
+                if name in exempt:
+                    continue
+                if name in covered or name.lstrip("_") in covered:
+                    continue
+                how = (
+                    f"mutated in {mutated[name]}()" if name in mutated
+                    else "an rng stream (its bit-stream position advances)"
+                )
+                anchor = ast.copy_location(ast.Pass(), init)
+                anchor.lineno = lineno
+                yield ctx.finding(
+                    anchor, self,
+                    f"{cls.name}.{name} is {how} but never appears in "
+                    f"state_dict; checkpoint it or add it to "
+                    f"_CHECKPOINT_EXEMPT with a comment",
+                )

@@ -1,0 +1,123 @@
+"""RNG-discipline rules.
+
+Every random draw in this codebase must flow from a named
+:class:`~repro.simulation.rng.RngFactory` stream — that is what makes
+whole experiments bit-reproducible and checkpoints exact. Three rules
+police the ways that discipline silently erodes:
+
+* ``rng-global-state`` — ``np.random.rand()``-style module functions
+  mutate NumPy's hidden global generator, which no checkpoint captures.
+* ``rng-module-import`` — ``random``/``secrets`` sit outside the NumPy
+  bit-stream machinery entirely (``secrets`` is *designed* to be
+  unreproducible).
+* ``rng-default-rng`` — ``default_rng()`` mints OS-entropy (or ad-hoc
+  seeded) streams outside the factory's spawn-key scheme; only
+  ``simulation/rng.py`` may construct generators.
+
+Type annotations (``np.random.Generator``) are attribute accesses, not
+calls, so they are exempt by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import ImportMap
+from ..finding import Finding
+from ..rule import FileContext, Rule, register
+
+NUMPY_RANDOM = "numpy.random."
+
+#: numpy.random attributes that construct explicit generator objects
+#: rather than touching global state (class constructors)
+_CONSTRUCTORS = frozenset({
+    "Generator", "SeedSequence", "BitGenerator",
+    "Philox", "PCG64", "PCG64DXSM", "MT19937", "SFC64",
+})
+
+
+@register
+class GlobalStateRng(Rule):
+    rule_id = "rng-global-state"
+    title = "no np.random module-function calls (hidden global rng)"
+    rationale = (
+        "np.random.<fn>() draws from NumPy's process-global generator, "
+        "which RngFactory streams never see and checkpoints cannot "
+        "capture; draw from a factory stream instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.resolve_call(node.func)
+            if name is None or not name.startswith(NUMPY_RANDOM):
+                continue
+            fn = name[len(NUMPY_RANDOM):]
+            if "." in fn or fn in _CONSTRUCTORS or fn == "default_rng":
+                continue
+            yield ctx.finding(
+                node, self,
+                f"np.random.{fn}() uses NumPy's global rng; draw from an "
+                f"RngFactory stream (simulation/rng.py) instead",
+            )
+
+
+@register
+class StdlibRandomImport(Rule):
+    rule_id = "rng-module-import"
+    title = "no random/secrets imports"
+    rationale = (
+        "the stdlib random module keeps global state outside the NumPy "
+        "bit-stream codec and secrets is unreproducible by design; "
+        "neither can round-trip through a checkpoint"
+    )
+
+    _BANNED = frozenset({"random", "secrets"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._BANNED:
+                        yield ctx.finding(
+                            node, self,
+                            f"import of {alias.name!r}: use an RngFactory "
+                            f"stream, not stdlib randomness",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if node.level == 0 and root in self._BANNED:
+                    yield ctx.finding(
+                        node, self,
+                        f"import from {node.module!r}: use an RngFactory "
+                        f"stream, not stdlib randomness",
+                    )
+
+
+@register
+class DefaultRngOutsideFactory(Rule):
+    rule_id = "rng-default-rng"
+    title = "default_rng() only inside simulation/rng.py"
+    rationale = (
+        "generators must come from RngFactory's named spawn-key streams "
+        "so seeds stay uncorrelated and restorable; ad-hoc default_rng "
+        "calls create streams no factory label owns"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_module("simulation", "rng.py"):
+            return
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if imports.resolve_call(node.func) == "numpy.random.default_rng":
+                yield ctx.finding(
+                    node, self,
+                    "default_rng() outside simulation/rng.py: take an "
+                    "rng parameter wired from an RngFactory stream",
+                )

@@ -1,0 +1,48 @@
+"""State-contract pairing: ``state_dict`` ⇔ ``load_state_dict``.
+
+Checkpointing round-trips through these two methods; a class that grows
+one without the other either snapshots state it can never restore or
+claims to restore state it never saves. The rule fires on the class
+body itself, so inheriting a complete pair (e.g. a stateless policy
+subclassing a base that defines both) is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..finding import Finding
+from ..rule import FileContext, Rule, register
+
+PAIR = ("state_dict", "load_state_dict")
+
+
+@register
+class StatePairing(Rule):
+    rule_id = "state-pair"
+    title = "state_dict and load_state_dict must be defined together"
+    rationale = (
+        "checkpoint save/load is a round-trip contract: defining one "
+        "side only produces snapshots that cannot restore (or restores "
+        "that drift from what was saved)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            defined = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name in PAIR
+            }
+            if len(defined) == 1:
+                present = defined.pop()
+                missing = PAIR[1] if present == PAIR[0] else PAIR[0]
+                yield ctx.finding(
+                    node, self,
+                    f"class {node.name} defines {present} without "
+                    f"{missing}; checkpoint state must round-trip",
+                )

@@ -1,0 +1,82 @@
+"""Per-line suppression comments.
+
+The only sanctioned way to silence a finding in place::
+
+    bad_call()  # repro: allow[rule-id] -- why this is safe here
+
+Multiple ids separate with commas; the ``-- reason`` clause is
+mandatory (a suppression without a justification is itself reported,
+and cannot be suppressed). A comment on its own line applies to the
+next code line, so long statements stay readable.
+
+Comments are discovered with :mod:`tokenize`, not regex-over-lines, so
+string literals that merely *contain* the pattern never suppress
+anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppression", "collect_suppressions", "ALLOW_PATTERN"]
+
+ALLOW_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow[...]`` comment."""
+
+    line: int
+    #: line the suppression applies to (== line, or the next code line
+    #: for a standalone comment)
+    applies_to: int
+    rules: tuple[str, ...]
+    reason: str
+    #: rule ids that actually matched a finding (filled by the checker)
+    used_by: list[str] = field(default_factory=list)
+
+
+def collect_suppressions(source: str) -> list[Suppression]:
+    """Parse every allow-comment in ``source``.
+
+    Tokenization errors yield no suppressions — the checker reports the
+    syntax error through its own path.
+    """
+    out: list[Suppression] = []
+    pending: list[Suppression] = []  # standalone comments awaiting code
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return []
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            match = ALLOW_PATTERN.search(tok.string)
+            if match is None:
+                continue
+            rules = tuple(
+                r.strip() for r in match.group("rules").split(",") if r.strip()
+            )
+            reason = (match.group("reason") or "").strip()
+            standalone = tok.string.strip() == tok.line.strip()
+            sup = Suppression(
+                line=tok.start[0], applies_to=tok.start[0],
+                rules=rules, reason=reason,
+            )
+            out.append(sup)
+            if standalone:
+                pending.append(sup)
+        elif tok.type not in (
+            tokenize.NL, tokenize.NEWLINE, tokenize.INDENT,
+            tokenize.DEDENT, tokenize.ENDMARKER,
+        ):
+            # first code token after a standalone comment: bind it
+            for sup in pending:
+                sup.applies_to = tok.start[0]
+            pending.clear()
+    return out

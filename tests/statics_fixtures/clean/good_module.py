@@ -1,0 +1,70 @@
+"""Known-clean constructs: every rule has a negative case here.
+
+Parsed by the rule tests; must produce zero findings.
+"""
+
+import json
+import numpy as np
+
+
+def sample(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Annotations referencing np.random are exempt; draws flow from a
+    passed-in generator, and explicit bit-generator construction (what
+    simulation/rng.py does) names no global state."""
+    gen = np.random.Generator(np.random.Philox(np.random.SeedSequence(0)))
+    return rng.normal(size=n) + gen.normal(size=n)
+
+
+class PairedCounter:
+    """Both state methods defined; every mutated field checkpoints,
+    and the derived table is exempted with a justification."""
+
+    _CHECKPOINT_EXEMPT = ("_scratch",)
+
+    def __init__(self, n, rng):
+        self.n = n
+        self.rng = rng
+        self.count = 0
+        self.table = [0] * n
+        self._scratch = []
+        self._history_total = []
+
+    def step(self):
+        self.count += 1
+        self.table[0] += 1
+        self._scratch.append(self.count)
+        self._history_total.append(self.count)
+
+    def state_dict(self):
+        return {
+            "rng": self.rng,
+            "count": self.count,
+            "table": list(self.table),
+            "history_total": list(self._history_total),
+        }
+
+    def load_state_dict(self, state):
+        self.count = state["count"]
+        self.table = list(state["table"])
+        self._history_total = list(state["history_total"])
+        self.rng = state["rng"]
+
+
+class BoundedMemo:
+    """Dict cache with an oldest-key eviction bound."""
+
+    def __init__(self, cache_size=8):
+        self.cache_size = cache_size
+        self._cache = {}
+
+    def get(self, key):
+        if key not in self._cache:
+            if len(self._cache) >= self.cache_size:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[key] = key * 2
+        return self._cache[key]
+
+
+def render(records) -> str:
+    """json.dumps for stdout/logs is not an artifact write."""
+    return json.dumps(records, indent=1)

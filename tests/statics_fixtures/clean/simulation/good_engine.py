@@ -1,0 +1,16 @@
+"""Known-clean engine-package constructs (determinism-rule scope)."""
+
+
+def advance(state, active_ids):
+    """Sorted iteration over set contents is deterministic."""
+    for node in sorted(set(active_ids)):
+        state[node] += 1
+    ranked = sorted(active_ids, key=lambda i: state[i])
+    return ranked
+
+
+def suppressed_draw(n):
+    import numpy as np
+
+    # a justified suppression silences the finding
+    return np.random.rand(n)  # repro: allow[rng-global-state] -- fixture: exercising the suppression path

@@ -1,0 +1,9 @@
+"""Seeded violations: ad-hoc JSON artifact writes."""
+
+import json
+from pathlib import Path
+
+def save_results(records, out):
+    with open(out, "w") as fh:
+        json.dump(records, fh)  # expect: artifact-codec
+    Path(out).write_text(json.dumps(records))  # expect: artifact-codec

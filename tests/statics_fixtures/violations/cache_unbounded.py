@@ -1,0 +1,28 @@
+"""Seeded violations: dict caches with no eviction bound."""
+
+_MODULE_CACHE = {}  # expect: cache-bound
+
+
+class Memoizer:
+    def __init__(self):
+        self._cache = {}  # expect: cache-bound
+
+    def get(self, key):
+        if key not in self._cache:
+            self._cache[key] = expensive(key)
+        return self._cache[key]
+
+
+def make_lookup():
+    memo = dict()  # expect: cache-bound
+
+    def lookup(key):
+        if key not in memo:
+            memo[key] = expensive(key)
+        return memo[key]
+
+    return lookup
+
+
+def expensive(key):
+    return key * 2

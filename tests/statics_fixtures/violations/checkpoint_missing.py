@@ -1,0 +1,20 @@
+"""Seeded violations: run-mutated state missing from state_dict."""
+
+class LeakyMeter:
+    def __init__(self, n, rng):
+        self.n = n
+        self.totals = [0.0] * n
+        self.events = 0  # expect: checkpoint-fields
+        self.rng = rng  # expect: checkpoint-fields
+        self.history = []  # expect: checkpoint-fields
+
+    def record(self, i, value):
+        self.totals[i] += value
+        self.events += 1
+        self.history.append(value)
+
+    def state_dict(self):
+        return {"totals": list(self.totals)}
+
+    def load_state_dict(self, state):
+        self.totals = list(state["totals"])

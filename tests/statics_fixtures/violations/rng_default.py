@@ -1,0 +1,7 @@
+"""Seeded violation: ad-hoc generator construction."""
+
+import numpy as np
+
+def make_noise(n):
+    rng = np.random.default_rng()  # expect: rng-default-rng
+    return rng.normal(size=n)

@@ -1,0 +1,10 @@
+"""Seeded violations: global-state numpy randomness."""
+
+import numpy as np
+from numpy.random import shuffle
+
+def sample(n):
+    values = np.random.rand(n)  # expect: rng-global-state
+    np.random.seed(0)  # expect: rng-global-state
+    shuffle(values)  # expect: rng-global-state
+    return values

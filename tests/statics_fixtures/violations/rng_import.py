@@ -1,0 +1,8 @@
+"""Seeded violations: stdlib randomness imports."""
+
+import random  # expect: rng-module-import
+import secrets  # expect: rng-module-import
+from random import choice  # expect: rng-module-import
+
+def pick(items):
+    return choice(items) if random.random() < 0.5 else secrets.token_hex(4)

@@ -1,0 +1,6 @@
+"""Seeded violations: memory-address ordering in an engine package."""
+
+def order_nodes(nodes, table):
+    ranked = sorted(nodes, key=id)  # expect: det-id-order
+    table[id(ranked[0])] = 1  # expect: det-id-order
+    return ranked

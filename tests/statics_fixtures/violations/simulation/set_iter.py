@@ -1,0 +1,10 @@
+"""Seeded violations: unordered-set iteration in an engine package."""
+
+def update_all(state, a, b):
+    for node in {1, 2, 3}:  # expect: det-set-iter
+        state[node] = 0
+    for node in set(a):  # expect: det-set-iter
+        state[node] += 1
+    for node in {x for x in b}:  # expect: det-set-iter
+        state[node] += 2
+    return state

@@ -1,0 +1,11 @@
+"""Seeded violations: wall-clock and OS entropy in an engine package."""
+
+import os
+import time
+from datetime import datetime
+
+def stamp_round(state):
+    state["t"] = time.time()  # expect: det-wallclock
+    state["when"] = datetime.now()  # expect: det-wallclock
+    state["salt"] = os.urandom(8)  # expect: det-wallclock
+    return state

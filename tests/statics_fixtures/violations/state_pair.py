@@ -1,0 +1,16 @@
+"""Seeded violations: unpaired checkpoint methods."""
+
+class SaveOnly:  # expect: state-pair
+    def __init__(self):
+        self.counter = 0
+
+    def state_dict(self):
+        return {"counter": self.counter}
+
+
+class LoadOnly:  # expect: state-pair
+    def __init__(self):
+        self.counter = 0
+
+    def load_state_dict(self, state):
+        self.counter = state["counter"]

@@ -1,0 +1,14 @@
+"""Seeded violations: misused suppression comments."""
+
+import numpy as np
+
+def draw(n):
+    # a suppression without a reason clause does not suppress, and is
+    # itself a finding
+    a = np.random.rand(n)  # repro: allow[rng-global-state]
+    return a
+
+
+def clean(n):
+    # repro: allow[rng-global-state] -- nothing on the next line violates this
+    return n + 1

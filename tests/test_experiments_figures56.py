@@ -3,7 +3,7 @@
 
 import pytest
 
-from repro.experiments import figure5, figure6, table3, table4
+from repro.experiments import figure5, figure6
 
 
 @pytest.fixture(scope="module")
@@ -15,8 +15,6 @@ def fig5(tiny_preset_module):
 def tiny_preset_module():
     # module-scoped copy of the conftest tiny preset (function-scoped
     # fixtures cannot back module-scoped ones)
-    import numpy as np
-
     from repro.data.synthetic import SyntheticSpec
     from repro.energy.traces import CIFAR10_WORKLOAD
     from repro.experiments.presets import ExperimentPreset

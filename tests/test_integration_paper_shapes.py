@@ -7,7 +7,6 @@ the tiny unit-test preset and the 32-node bench preset, so the whole
 file stays under ~2 minutes.
 """
 
-import dataclasses
 
 import numpy as np
 import pytest

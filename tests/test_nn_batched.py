@@ -21,8 +21,7 @@ from repro.nn.batched import (
     UnsupportedLayerError,
     vectorize_module,
 )
-from repro.nn.layers import Conv2d, Dropout, Linear, MaxPool2d
-from repro.nn.layers.normalization import GroupNorm
+from repro.nn.layers import Dropout, Linear
 from repro.nn.models import gn_lenet_cifar10
 from repro.nn.module import Sequential
 from repro.nn.serialization import parameter_vector, set_parameter_vector

@@ -6,10 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.nn import (
-    Conv2d,
-    Flatten,
     Linear,
-    MaxPool2d,
     ReLU,
     Sequential,
     gn_lenet_cifar10,

@@ -4,7 +4,7 @@ satisfy regardless of algorithm or data."""
 import numpy as np
 import pytest
 
-from repro.core import DPSGD, AllReduceDPSGD, RoundSchedule, SkipTrain
+from repro.core import DPSGD, RoundSchedule, SkipTrain
 from repro.data import make_classification_images, shard_partition
 from repro.data.synthetic import SyntheticSpec
 from repro.energy import CIFAR10_WORKLOAD, EnergyMeter, build_trace
