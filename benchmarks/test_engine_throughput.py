@@ -10,11 +10,14 @@ claim into an assertion rather than a printout.
 
 The ``test_eval_*`` / ``test_sweep_jobs_*`` family is the *tracked*
 baseline: serial vs batched cross-node evaluation at 16/64/256 nodes
-and ``--jobs 1`` vs ``--jobs 4`` sweep wall-clock, each recorded into
+and ``--jobs 1`` vs ``--jobs 4`` sweep wall-clock through the
+persistent shared-memory pool, each recorded into
 ``BENCH_throughput.json`` (:func:`benchmarks.conftest.record_bench`) so
 future PRs have a perf trajectory to regress against. Speed gates:
 batched eval must never be slower than serial at 64 nodes (quick mode)
-and must deliver ≥3× (full mode, ``slow`` marker).
+and must deliver ≥3× (full mode, ``slow`` marker); the pooled sweep
+must beat serial whenever the machine has ≥2 cores (quick mode) and
+deliver ≥1.3× on ≥4 cores (full mode).
 """
 
 import time
@@ -342,19 +345,19 @@ def test_async_events_throughput():
 # -- sweep cell parallelism: --jobs 1 vs --jobs 4 (tracked baseline) ----------
 
 
-@pytest.mark.slow
-def test_sweep_jobs_wallclock(bench16_cifar, tmp_path):
-    """Wall-clock of one 4-cell plan executed serially vs on a 4-worker
-    pool, recorded to the baseline; the two artifact directories must
-    stay byte-identical (the --jobs contract)."""
+def _measure_sweep_jobs(bench16_cifar, tmp_path):
+    """(jobs1_s, jobs4_s, plan) for an 8-cell plan executed serially vs
+    on the persistent 4-worker shared-memory pool, after asserting the
+    two artifact directories are byte-identical (the --jobs contract)."""
     import dataclasses
 
     from repro.experiments import build_plan, run_sweep
     from repro.experiments.artifacts import artifact_path
 
-    preset = dataclasses.replace(bench16_cifar, total_rounds=16, eval_every=8)
-    plan = build_plan(preset, ("skiptrain",), degrees=(3,),
-                      seeds=(0, 1, 2, 3))
+    preset = dataclasses.replace(bench16_cifar, total_rounds=16, eval_every=8,
+                                 degrees=(3, 4))
+    plan = build_plan(preset, ("skiptrain", "d-psgd"), degrees=(3, 4),
+                      seeds=(0, 1))
     lookup = lambda name: preset  # noqa: E731
 
     t0 = time.perf_counter()
@@ -367,11 +370,62 @@ def test_sweep_jobs_wallclock(bench16_cifar, tmp_path):
     for cell in plan:
         assert (artifact_path(tmp_path / "j1", cell).read_bytes()
                 == artifact_path(tmp_path / "j4", cell).read_bytes())
+    return jobs1_s, jobs4_s, plan
+
+
+def test_sweep_jobs_wallclock(bench16_cifar, tmp_path):
+    """The tracked sweep-parallelism baseline and quick-mode CI gate:
+    8 cells (2 algorithms × 2 degrees × 2 seeds) through the persistent
+    pool must beat serial wall-clock whenever the machine actually has
+    cores to parallelise over. The recorded ``cpus`` field keeps
+    single-core measurements honest — on 1 CPU workers time-slice and
+    the pool can only tie, so the gate arms at ≥2 cores."""
+    import os
+
+    jobs1_s, jobs4_s, plan = _measure_sweep_jobs(bench16_cifar, tmp_path)
+    cpus = os.cpu_count() or 1
+    speedup = jobs1_s / jobs4_s
     record_bench("sweep_jobs", {
         "cells": len(plan),
-        "preset": preset.name,
-        "total_rounds": preset.total_rounds,
+        "preset": plan[0].preset,
+        "total_rounds": plan[0].total_rounds,
+        "jobs": 4,
+        "pool": "persistent",
+        "cpus": cpus,
         "jobs1_s": round(jobs1_s, 4),
         "jobs4_s": round(jobs4_s, 4),
-        "speedup": round(jobs1_s / jobs4_s, 3),
+        "speedup": round(speedup, 3),
     })
+    if cpus >= 2:
+        assert speedup > 1.0, (
+            f"persistent pool slower than serial on {cpus} cores: "
+            f"{jobs4_s:.2f}s vs {jobs1_s:.2f}s ({speedup:.2f}x)"
+        )
+
+
+@pytest.mark.slow
+def test_sweep_jobs_speedup_multicore(bench16_cifar, tmp_path):
+    """Acceptance gate (full mode): on a machine with ≥4 cores the
+    4-worker pool must cut 8-cell sweep wall-clock by ≥1.3× — the floor
+    the persistent-pool rework ships against (per-cell dispatch plus
+    one shared dataset prep leaves ample headroom below the ~4× ideal,
+    but a regression to group-grained scheduling or per-worker re-prep
+    would land under it)."""
+    import os
+
+    cpus = os.cpu_count() or 1
+    if cpus < 4:
+        pytest.skip(f"need >=4 cores for the 1.3x gate, have {cpus}")
+    jobs1_s, jobs4_s, plan = _measure_sweep_jobs(bench16_cifar, tmp_path)
+    speedup = jobs1_s / jobs4_s
+    record_bench("sweep_jobs_full", {
+        "cells": len(plan),
+        "cpus": cpus,
+        "jobs1_s": round(jobs1_s, 4),
+        "jobs4_s": round(jobs4_s, 4),
+        "speedup": round(speedup, 3),
+    })
+    assert speedup > 1.3, (
+        f"persistent pool under the 1.3x floor on {cpus} cores: "
+        f"{jobs4_s:.2f}s vs {jobs1_s:.2f}s ({speedup:.2f}x)"
+    )

@@ -216,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "processes (artifacts byte-identical to "
                               "--jobs 1; composes with --shard and "
                               "--checkpoint-every)")
+    p_sweep.add_argument("--pool", choices=["persistent", "fork"],
+                         default="persistent",
+                         help="parallel backend for --jobs N: 'persistent' "
+                              "streams cells through long-lived workers fed "
+                              "from a shared-memory dataset cache; 'fork' "
+                              "is the legacy per-group process pool")
     p_sweep.add_argument("--dry-run", action="store_true",
                          help="print the shard's cells and their status "
                               "without running anything")
@@ -527,6 +533,7 @@ def _execute_sweep_plan(args: argparse.Namespace, plan, shard,
         checkpoint_every=args.checkpoint_every,
         vectorized=args.vectorized,
         jobs=args.jobs,
+        pool=args.pool,
         log=print,
     )
     print(f"{label}shard {args.shard}: ran {len(stats.ran)} "

@@ -1,0 +1,364 @@
+"""Persistent shared-memory worker pool for sweep execution.
+
+The per-group fork pool this replaces re-paid process startup and
+dataset preparation for every (preset, degree, seed) group, which made
+``--jobs 4`` *slower* than serial on small cells. This subsystem keeps
+two mechanisms separate and composable:
+
+* :class:`SharedDatasetCache` — the parent process synthesizes each
+  distinct dataset (one per (preset, seed, partition-override, α) key)
+  exactly once via :func:`~repro.experiments.runner.prepare_data` and
+  publishes its arrays into one
+  :class:`multiprocessing.shared_memory.SharedMemory` segment. Workers
+  rebind the arrays zero-copy (``np.ndarray`` views over the mapped
+  buffer, marked read-only) from the picklable :class:`SharedDataset`
+  descriptor that travels with each task.
+* :class:`PersistentPool` — long-lived fork workers pulling individual
+  cells off one work queue until a sentinel arrives. Workers are forked
+  once per sweep, so presets, model factories, lookup closures and
+  round hooks never need to be picklable (the ``run_one`` closure is
+  inherited through the fork, exactly like the old module-global
+  context). A worker that raises ships the formatted traceback back to
+  the parent and stops; the parent then terminates the remaining
+  workers (poisoning the queue) and raises :class:`PoolWorkerError`
+  carrying the original traceback. A worker that dies without
+  reporting (hard crash) is detected by liveness polling.
+
+Lifecycle contract: every published segment is unlinked exactly once —
+on :meth:`SharedDatasetCache.close` (invoked by the sweep's ``finally``
+whether the sweep succeeded, failed, or was interrupted) with an
+``atexit`` hook as the last-resort backstop. The ``shm-unlink`` rule of
+``repro check`` enforces the same contract statically on any future
+``SharedMemory(create=True)`` call site.
+
+Platform constraint: the pool requires the ``fork`` start method
+(Linux). ``multiprocessing.shared_memory`` itself is portable, but the
+no-pickling property of the worker context is not — on other platforms
+run ``jobs=1`` per shard and split work with ``--shard`` instead.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+import queue as queue_module
+import traceback
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Hashable, Iterator
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from .artifacts import PlanCell
+from .presets import ExperimentPreset
+from .runner import PreparedData
+
+__all__ = [
+    "PoolWorkerError",
+    "SharedDataset",
+    "SharedDatasetCache",
+    "PersistentPool",
+    "bind_data",
+]
+
+
+class PoolWorkerError(RuntimeError):
+    """A pool worker failed while executing a cell.
+
+    ``cell_id`` names the cell that raised (empty when the worker died
+    without reporting); ``worker_traceback`` is the worker-side
+    formatted traceback, embedded in the message so the original
+    failure is visible at the call site that observed it.
+    """
+
+    def __init__(self, cell_id: str, worker_traceback: str) -> None:
+        self.cell_id = cell_id
+        self.worker_traceback = worker_traceback
+        where = f"cell {cell_id}" if cell_id else "a worker"
+        super().__init__(
+            f"sweep pool worker failed while running {where}\n"
+            f"--- worker traceback ---\n{worker_traceback}"
+        )
+
+
+@dataclass(frozen=True)
+class SharedDataset:
+    """Picklable descriptor of one published dataset segment.
+
+    ``arrays`` maps each logical array (``"train.x"``, ``"train.y"``,
+    …, ``"partition.<i>"``) to its (shape, dtype, byte offset) within
+    the segment; ``num_classes`` carries the (train, test, validation)
+    class counts the :class:`~repro.data.dataset.ArrayDataset`
+    constructors need. Everything else about a cell (preset object,
+    degree, topology) is resolved worker-side, so this descriptor stays
+    small and queue-friendly.
+    """
+
+    segment: str
+    seed: int
+    num_classes: tuple[int, int, int]
+    arrays: tuple[tuple[str, tuple[int, ...], str, int], ...]
+
+
+def _data_arrays(data: PreparedData) -> list[tuple[str, np.ndarray]]:
+    """The flat, ordered array inventory of one :class:`PreparedData`."""
+    items = [
+        ("train.x", data.train.x),
+        ("train.y", data.train.y),
+        ("test.x", data.test.x),
+        ("test.y", data.test.y),
+        ("validation.x", data.validation.x),
+        ("validation.y", data.validation.y),
+    ]
+    items.extend(
+        (f"partition.{i}", part) for i, part in enumerate(data.partition)
+    )
+    return [(name, np.ascontiguousarray(arr)) for name, arr in items]
+
+
+class SharedDatasetCache:
+    """Parent-side registry of published dataset segments, keyed by the
+    sweep's data key. Owns every segment it creates and unlinks all of
+    them on :meth:`close` (idempotent; also registered with ``atexit``
+    as a backstop, and guarded by pid so a forked child inheriting the
+    object can never unlink segments from under its siblings)."""
+
+    def __init__(self) -> None:
+        self._owner_pid = os.getpid()
+        self._segments: dict[Hashable, shared_memory.SharedMemory] = {}
+        self._published: dict[Hashable, SharedDataset] = {}
+        atexit.register(self.close)
+
+    def get(self, key: Hashable) -> SharedDataset | None:
+        return self._published.get(key)
+
+    @property
+    def keys(self) -> tuple[Hashable, ...]:
+        """Keys published so far, in publication order."""
+        return tuple(self._published)
+
+    def publish(self, key: Hashable, data: PreparedData) -> SharedDataset:
+        """Copy ``data``'s arrays into a fresh shared-memory segment and
+        return the descriptor workers bind from."""
+        if key in self._published:
+            raise ValueError(f"data key {key!r} already published")
+        arrays = _data_arrays(data)
+        offsets, size = [], 0
+        for _, arr in arrays:
+            offsets.append(size)
+            size += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(size, 1))
+        try:
+            table = []
+            for (name, arr), offset in zip(arrays, offsets):
+                dst = np.ndarray(
+                    arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset
+                )
+                dst[...] = arr
+                del dst  # release the buffer view so close() can unmap
+                table.append((name, arr.shape, arr.dtype.str, offset))
+            meta = SharedDataset(
+                segment=shm.name,
+                seed=data.seed,
+                num_classes=(
+                    data.train.num_classes,
+                    data.test.num_classes,
+                    data.validation.num_classes,
+                ),
+                arrays=tuple(table),
+            )
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        self._segments[key] = shm
+        self._published[key] = meta
+        return meta
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent, fork-safe)."""
+        if os.getpid() != self._owner_pid:
+            return  # a forked child inherited this object; not ours
+        while self._segments:
+            _, shm = self._segments.popitem()
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._published.clear()
+        atexit.unregister(self.close)
+
+    def __enter__(self) -> "SharedDatasetCache":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+#: Worker-side segment attachments, keyed by segment name. Bounded by
+#: the number of distinct datasets a single sweep publishes; attachments
+#: are released wholesale when the worker process exits.
+_BINDINGS: dict[str, shared_memory.SharedMemory] = {}
+
+
+def bind_data(meta: SharedDataset, preset: ExperimentPreset) -> PreparedData:
+    """Rebind one published dataset inside a worker, zero-copy.
+
+    Attaches to the segment on first use (per process) and builds
+    read-only ``np.ndarray`` views over the mapped buffer — no pixel is
+    copied on the feature arrays, which is what makes a cell's marginal
+    cost independent of dataset size. ``preset`` is the worker-resolved
+    preset the rebound :class:`PreparedData` should carry (for scenario
+    cells it is the battery-adjusted base, which never affects the
+    array bytes).
+    """
+    shm = _BINDINGS.get(meta.segment)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=meta.segment)
+        _BINDINGS[meta.segment] = shm
+    views: dict[str, np.ndarray] = {}
+    for name, shape, dtype, offset in meta.arrays:
+        arr = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+        )
+        arr.flags.writeable = False  # published data is immutable
+        views[name] = arr
+    n_parts = sum(1 for name, *_ in meta.arrays if name.startswith("partition."))
+    train_classes, test_classes, val_classes = meta.num_classes
+    return PreparedData(
+        preset=preset,
+        seed=meta.seed,
+        train=ArrayDataset(views["train.x"], views["train.y"], train_classes),
+        test=ArrayDataset(views["test.x"], views["test.y"], test_classes),
+        validation=ArrayDataset(
+            views["validation.x"], views["validation.y"], val_classes
+        ),
+        partition=[views[f"partition.{i}"] for i in range(n_parts)],
+    )
+
+
+def _worker_main(
+    run_one: Callable[[PlanCell, SharedDataset], bool],
+    task_queue: "mp.queues.Queue",
+    result_queue: "mp.queues.Queue",
+) -> None:
+    """Worker loop: pull (cell, descriptor) tasks until the ``None``
+    sentinel; report ``("ok", cell_id, resumed)`` per cell, or
+    ``("err", cell_id, traceback)`` once and stop."""
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        cell, meta = task
+        try:
+            resumed = run_one(cell, meta)
+        except BaseException:
+            result_queue.put(("err", cell.cell_id, traceback.format_exc()))
+            return
+        result_queue.put(("ok", cell.cell_id, resumed))
+
+
+class PersistentPool:
+    """Long-lived fork workers streaming cells off one work queue.
+
+    ``run_one(cell, shared) -> resumed`` executes a single cell inside
+    a worker; it is captured at construction and inherited through the
+    fork, so nothing about it needs to be picklable. Use as a context
+    manager: ``__enter__`` forks the workers, ``__exit__`` joins them
+    (terminating first if the block is leaving on an error, which is
+    what poisons a queue still holding tasks).
+    """
+
+    #: Seconds between result polls; bounds how stale the worker
+    #: liveness check can be, not how fast results arrive.
+    POLL_INTERVAL = 0.2
+
+    def __init__(
+        self,
+        jobs: int,
+        run_one: Callable[[PlanCell, SharedDataset], bool],
+    ) -> None:
+        if jobs <= 0:
+            raise ValueError("jobs must be positive")
+        if "fork" not in mp.get_all_start_methods():
+            raise ValueError(
+                "the persistent pool requires the fork start method "
+                "(unavailable on this platform); use jobs=1 and split "
+                "work across machines with shard=I/N instead"
+            )
+        self._ctx = mp.get_context("fork")
+        self._run_one = run_one
+        self._jobs = jobs
+        self._task_queue: mp.queues.Queue = self._ctx.Queue()
+        self._result_queue: mp.queues.Queue = self._ctx.Queue()
+        self._workers: list = []
+
+    def __enter__(self) -> "PersistentPool":
+        # fork point: everything run_one closes over is frozen into the
+        # workers here, so callers must fully build the closure first
+        self._workers = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(self._run_one, self._task_queue, self._result_queue),
+                daemon=True,
+            )
+            for _ in range(self._jobs)
+        ]
+        for worker in self._workers:
+            worker.start()
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        self._shutdown(force=exc_type is not None)
+
+    def run(
+        self, tasks: list[tuple[PlanCell, SharedDataset]]
+    ) -> Iterator[tuple[str, bool]]:
+        """Dispatch all tasks and yield ``(cell_id, resumed)`` as cells
+        complete (completion order is nondeterministic; artifacts are
+        per-cell and deterministic, so callers never depend on it).
+
+        Raises :class:`PoolWorkerError` as soon as any worker reports a
+        failure or dies silently while work is outstanding.
+        """
+        for task in tasks:
+            self._task_queue.put(task)
+        for _ in self._workers:
+            self._task_queue.put(None)
+        remaining = len(tasks)
+        while remaining:
+            try:
+                kind, cell_id, payload = self._result_queue.get(
+                    timeout=self.POLL_INTERVAL
+                )
+            except queue_module.Empty:
+                if not any(w.is_alive() for w in self._workers):
+                    raise PoolWorkerError(
+                        "",
+                        f"all workers exited with {remaining} cell(s) "
+                        f"unaccounted for (a worker died without "
+                        f"reporting — killed or crashed hard)",
+                    )
+                continue
+            if kind == "err":
+                raise PoolWorkerError(cell_id, payload)
+            remaining -= 1
+            yield cell_id, payload
+
+    def _shutdown(self, force: bool) -> None:
+        if force:
+            for worker in self._workers:
+                if worker.is_alive():
+                    worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=10)
+            if worker.is_alive():  # refused to die; don't hang the sweep
+                worker.kill()
+                worker.join(timeout=10)
+        for q in (self._task_queue, self._result_queue):
+            q.cancel_join_thread()
+            q.close()
+        self._workers = []

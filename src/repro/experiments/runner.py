@@ -57,9 +57,12 @@ from .presets import ExperimentPreset
 __all__ = [
     "ExperimentResult",
     "AsyncExperimentResult",
+    "PreparedData",
     "PreparedExperiment",
     "ASYNC_ALGORITHMS",
     "prepare",
+    "prepare_data",
+    "prepared_from_data",
     "build_run",
     "run_algorithm",
     "build_async_run",
@@ -101,6 +104,28 @@ class ExperimentResult:
 
 
 @dataclass
+class PreparedData:
+    """The degree-independent half of a prepared cell: synthesized
+    datasets plus the sample→node partition.
+
+    Everything here depends only on (preset, seed, partition override,
+    Dirichlet α) — never on the topology degree — so one
+    :class:`PreparedData` can back every degree of a sweep group. The
+    persistent sweep pool exploits exactly this: the parent process
+    synthesizes each distinct data key once, publishes the arrays via
+    shared memory, and the workers rebind them zero-copy (see
+    :mod:`repro.experiments.pool`).
+    """
+
+    preset: ExperimentPreset
+    seed: int
+    train: ArrayDataset
+    test: ArrayDataset
+    validation: ArrayDataset
+    partition: list[np.ndarray]
+
+
+@dataclass
 class PreparedExperiment:
     """Dataset + partition + topology, reusable across algorithms so
     baseline comparisons see identical data and graphs.
@@ -121,16 +146,14 @@ class PreparedExperiment:
     trace: EnergyTrace
 
 
-def prepare(
+def prepare_data(
     preset: ExperimentPreset,
-    degree: int,
     seed: int = 0,
-    total_rounds: int | None = None,
     partition_override: str | None = None,
     dirichlet_alpha: float | None = None,
-) -> PreparedExperiment:
-    """Synthesize data, partition it and build the topology/trace for
-    one (preset, degree, seed) cell.
+) -> PreparedData:
+    """Synthesize and partition the dataset for one (preset, seed) cell
+    group — the expensive, degree-independent half of :func:`prepare`.
 
     ``partition_override`` replaces the preset's non-IID structure with
     ``"iid"`` (uniform control) or ``"dirichlet"`` (Dirichlet(α) label
@@ -138,9 +161,6 @@ def prepare(
     scenario specs. The dataset synthesis is untouched; only the
     sample→node assignment changes, drawn from the same ``"partition"``
     rng stream."""
-    from ..topology.graphs import regular_graph
-    from ..topology.mixing import metropolis_hastings_weights
-
     if partition_override not in (None, "iid", "dirichlet"):
         raise ValueError(
             f'partition_override must be None, "iid" or "dirichlet", '
@@ -195,7 +215,31 @@ def prepare(
     # §4.2: validation = 50 % of the held-out samples, disjoint from test
     validation, test = heldout.split(0.5, rngs.stream("val-split"))
 
-    graph = regular_graph(preset.n_nodes, degree, seed=seed)
+    return PreparedData(
+        preset=preset,
+        seed=seed,
+        train=train,
+        test=test,
+        validation=validation,
+        partition=parts,
+    )
+
+
+def prepared_from_data(
+    data: PreparedData, degree: int
+) -> PreparedExperiment:
+    """Bind a degree onto prepared data: derive the regular graph, its
+    Metropolis–Hastings mixing matrix, and the energy trace.
+
+    Cheap relative to :func:`prepare_data` and deterministic in
+    ``(data, degree)``, so pool workers re-derive it per cell from the
+    shared-memory datasets instead of shipping sparse matrices around.
+    """
+    from ..topology.graphs import regular_graph
+    from ..topology.mixing import metropolis_hastings_weights
+
+    preset = data.preset
+    graph = regular_graph(preset.n_nodes, degree, seed=data.seed)
     mixing = metropolis_hastings_weights(graph)
     trace = build_trace(
         preset.n_nodes, preset.workload, preset.battery_fraction, degree=degree
@@ -203,14 +247,38 @@ def prepare(
     return PreparedExperiment(
         preset=preset,
         degree=degree,
-        seed=seed,
-        train=train,
-        test=test,
-        validation=validation,
-        partition=parts,
+        seed=data.seed,
+        train=data.train,
+        test=data.test,
+        validation=data.validation,
+        partition=data.partition,
         mixing=mixing,
         trace=trace,
     )
+
+
+def prepare(
+    preset: ExperimentPreset,
+    degree: int,
+    seed: int = 0,
+    total_rounds: int | None = None,
+    partition_override: str | None = None,
+    dirichlet_alpha: float | None = None,
+) -> PreparedExperiment:
+    """Synthesize data, partition it and build the topology/trace for
+    one (preset, degree, seed) cell.
+
+    Composes :func:`prepare_data` (degree-independent synthesis +
+    partition) with :func:`prepared_from_data` (topology/trace binding);
+    the split exists so the sweep pool can share the expensive half
+    across degrees without changing any bytes of the result."""
+    data = prepare_data(
+        preset,
+        seed=seed,
+        partition_override=partition_override,
+        dirichlet_alpha=dirichlet_alpha,
+    )
+    return prepared_from_data(data, degree)
 
 
 def _make_algorithm(

@@ -15,9 +15,11 @@ mean curves with std bands (Fig. 4). Two execution styles live here:
   ``checkpoint_every`` rounds via
   :func:`~repro.simulation.checkpoint.save_run_checkpoint` so a killed
   3000-round run resumes mid-cell instead of from round 0. With
-  ``jobs=N`` the shard's cells additionally fan out to an in-process
-  fork pool (cells are independent; the artifact set stays
-  byte-identical to a serial run). Aggregation to CSV is a separate
+  ``jobs=N`` the shard's cells additionally fan out to persistent fork
+  workers fed from a shared-memory dataset cache
+  (:mod:`repro.experiments.pool`; ``pool="fork"`` keeps the legacy
+  per-group pool). Cells are independent, so the artifact set stays
+  byte-identical to a serial run. Aggregation to CSV is a separate
   step (``repro aggregate``), tolerant of partial sweeps.
 
 Both execution backends ride the same orchestration: ``kind="async"``
@@ -58,6 +60,8 @@ from .runner import (
     build_async_run,
     build_run,
     prepare,
+    prepare_data,
+    prepared_from_data,
     run_algorithm,
 )
 
@@ -179,11 +183,20 @@ def compare_algorithms(
 
 @dataclass
 class SweepRunStats:
-    """What one :func:`run_sweep` invocation did with its shard."""
+    """What one :func:`run_sweep` invocation did with its shard.
+
+    ``prepped`` records the data keys the persistent pool published to
+    shared memory, in publication order — one entry per distinct
+    (preset, seed, partition-override, α) dataset, however many cells
+    shared it (empty for the serial and legacy fork backends). The
+    parallel-correctness tests assert on it to prove each dataset is
+    prepared exactly once per sweep.
+    """
 
     ran: list[PlanCell] = field(default_factory=list)
     skipped: list[PlanCell] = field(default_factory=list)
     resumed: list[PlanCell] = field(default_factory=list)
+    prepped: list[tuple] = field(default_factory=list)
 
 
 def run_cell(
@@ -237,9 +250,9 @@ def run_cell(
         )
     if cell.scenario:
         return _run_scenario_cell(
-            preset, cell, results_dir, checkpoint_every=checkpoint_every,
-            vectorized=vectorized, round_hook=round_hook,
-            scenario_lookup=scenario_lookup,
+            preset, cell, results_dir, prepared=prepared,
+            checkpoint_every=checkpoint_every, vectorized=vectorized,
+            round_hook=round_hook, scenario_lookup=scenario_lookup,
         )
     if prepared is None:
         prepared = prepare(preset, cell.degree, seed=cell.seed)
@@ -270,6 +283,7 @@ def _run_scenario_cell(
     cell: PlanCell,
     results_dir: str | os.PathLike,
     *,
+    prepared=None,
     checkpoint_every: int,
     vectorized: bool,
     round_hook: Callable | None,
@@ -279,7 +293,11 @@ def _run_scenario_cell(
     compile the registered spec with the cell's seed/rounds, then run
     through the shared checkpointed execution helpers. Compilation is
     deterministic, which is what lets a killed scenario cell rebuild
-    its engine and resume byte-identically."""
+    its engine and resume byte-identically. ``prepared`` skips data
+    synthesis inside :func:`~repro.scenarios.compile.compile_run` —
+    pool workers pass the shared-memory rebind, which must have been
+    prepared against the spec-resolved base preset and degree (the
+    degree drift guard below still fires if the registry moved)."""
     from ..scenarios.compile import compile_run
     from ..scenarios.registry import get_scenario
 
@@ -309,6 +327,7 @@ def _run_scenario_cell(
         seed=cell.seed,
         total_rounds=cell.total_rounds,
         preset=preset,
+        prepared=prepared,
         vectorized=vectorized,
     )
     if compiled.prepared.degree != cell.degree:
@@ -473,6 +492,7 @@ def run_sweep(
     checkpoint_every: int = 0,
     vectorized: bool = False,
     jobs: int = 1,
+    pool: str = "persistent",
     preset_lookup: Callable[[str], ExperimentPreset] = get_preset,
     log: Callable[[str], None] | None = None,
     round_hook: Callable | None = None,
@@ -489,21 +509,34 @@ def run_sweep(
     round-robin sharding (execution order within a shard is free —
     artifacts are per-cell and deterministic).
 
-    ``jobs > 1`` fans the shard's pending cells out to a fork-based
-    process pool, one task per (preset, degree, seed) group so the
-    preparation cache still hits inside each worker. Cells are
-    independent and every artifact is deterministic, so the resulting
-    artifact directory is byte-identical to a ``jobs=1`` run — only
-    wall-clock and completion order change. Composes with sharding,
-    skip-on-existing-artifact and mid-cell checkpointing unchanged
-    (each cell owns its private checkpoint file). ``round_hook`` runs
-    inside the worker processes when ``jobs > 1``. The pool requires
-    the ``fork`` start method (Linux; presets and hooks need not be
-    picklable) — elsewhere, run ``jobs=1`` per shard and split work
-    with ``shard`` instead.
+    ``jobs > 1`` fans the shard's pending cells out to a process pool
+    selected by ``pool``:
+
+    * ``"persistent"`` (default) — long-lived fork workers pulling
+      individual cells off a work queue, with each distinct dataset
+      prepared once in the parent and published to the workers via
+      shared memory (see :mod:`repro.experiments.pool`). A crashed
+      worker fails the sweep fast with its original traceback.
+    * ``"fork"`` — the legacy per-(preset, degree, seed) group
+      ``multiprocessing.Pool`` backend, kept as a fallback and as the
+      conformance reference for the pool's correctness tests.
+
+    Cells are independent and every artifact is deterministic, so
+    either backend's artifact directory is byte-identical to a
+    ``jobs=1`` run — only wall-clock and completion order change.
+    Composes with sharding, skip-on-existing-artifact and mid-cell
+    checkpointing unchanged (each cell owns its private checkpoint
+    file). ``round_hook`` runs inside the worker processes when
+    ``jobs > 1``. Both backends require the ``fork`` start method
+    (Linux; presets and hooks need not be picklable) — elsewhere, run
+    ``jobs=1`` per shard and split work with ``shard`` instead.
     """
     if jobs <= 0:
         raise ValueError("jobs must be positive")
+    if pool not in ("persistent", "fork"):
+        raise ValueError(
+            f'pool must be "persistent" or "fork", got {pool!r}'
+        )
     if jobs > 1 and "fork" not in mp.get_all_start_methods():
         raise ValueError(
             "jobs > 1 requires the fork start method (unavailable on "
@@ -518,7 +551,10 @@ def run_sweep(
     stats = SweepRunStats()
     say = log if log is not None else (lambda msg: None)
     if jobs > 1:
-        return _run_sweep_jobs(
+        backend = (
+            _run_sweep_persistent if pool == "persistent" else _run_sweep_jobs
+        )
+        return backend(
             selected, results_dir, stats, say,
             checkpoint_every=checkpoint_every, vectorized=vectorized,
             jobs=jobs, preset_lookup=preset_lookup, round_hook=round_hook,
@@ -617,6 +653,112 @@ def _run_sweep_jobs(
                             f"checkpoint")
     finally:
         _JOB_CTX = None
+    return stats
+
+
+def _run_sweep_persistent(
+    selected: list[PlanCell],
+    results_dir: str | os.PathLike,
+    stats: SweepRunStats,
+    say: Callable[[str], None],
+    *,
+    checkpoint_every: int,
+    vectorized: bool,
+    jobs: int,
+    preset_lookup: Callable[[str], ExperimentPreset],
+    round_hook: Callable | None,
+    scenario_lookup: Callable | None,
+) -> SweepRunStats:
+    """The default ``jobs > 1`` path: every distinct dataset prepared
+    once in the parent and published to shared memory, pending cells
+    streamed one-by-one through persistent fork workers.
+
+    The data key is (preset, seed, partition-override, α) — degree-free,
+    because topology/mixing/trace are cheap and re-derived per cell in
+    the workers (:func:`~repro.experiments.runner.prepared_from_data`).
+    Scenario cells resolve their override/α from the spec's data axis
+    and their base preset via
+    :func:`~repro.scenarios.compile.scenario_base`, so a scenario
+    without a data override shares its segment with the plain cells of
+    the same (preset, seed).
+    """
+    from ..scenarios.compile import scenario_base
+    from ..scenarios.registry import get_scenario
+    from .pool import PersistentPool, SharedDatasetCache, bind_data
+
+    lookup = scenario_lookup if scenario_lookup is not None else get_scenario
+    pending: list[PlanCell] = []
+    for cell in selected:
+        if artifact_path(results_dir, cell).is_file():
+            stats.skipped.append(cell)
+            say(f"skip {cell.cell_id} (artifact exists)")
+        else:
+            pending.append(cell)
+    if not pending:
+        return stats
+
+    def data_coords(cell: PlanCell) -> tuple[tuple, ExperimentPreset, str | None, float | None]:
+        """(data key, base preset, partition override, α) for one cell."""
+        if cell.scenario:
+            spec = lookup(cell.scenario)
+            base, _ = scenario_base(spec, preset_lookup(cell.preset))
+            key = (cell.preset, cell.seed, spec.data.partition, spec.data.alpha)
+            return key, base, spec.data.partition, spec.data.alpha
+        key = (cell.preset, cell.seed, None, None)
+        return key, preset_lookup(cell.preset), None, None
+
+    def run_one(cell, meta):
+        # runs inside a forked worker: rebind the shared dataset, derive
+        # the cell's topology locally, then ride the normal cell path
+        preset = preset_lookup(cell.preset)
+        if cell.scenario:
+            base, degree = scenario_base(lookup(cell.scenario), preset)
+        else:
+            base, degree = preset, cell.degree
+        prepared = prepared_from_data(bind_data(meta, base), degree)
+        _, resumed = run_cell(
+            preset,
+            cell,
+            results_dir,
+            prepared=prepared,
+            checkpoint_every=checkpoint_every,
+            vectorized=vectorized,
+            round_hook=round_hook,
+            scenario_lookup=scenario_lookup,
+        )
+        return resumed
+
+    by_id = {cell.cell_id: cell for cell in pending}
+    done = 0
+    with SharedDatasetCache() as shared:
+        tasks = []
+        for cell in pending:
+            key, base, override, alpha = data_coords(cell)
+            meta = shared.get(key)
+            if meta is None:
+                say(f"prep {cell.preset} seed={cell.seed}"
+                    + (f" data={override}" if override else ""))
+                meta = shared.publish(
+                    key,
+                    prepare_data(
+                        base,
+                        seed=cell.seed,
+                        partition_override=override,
+                        dirichlet_alpha=alpha,
+                    ),
+                )
+                stats.prepped.append(key)
+            tasks.append((cell, meta))
+        with PersistentPool(min(jobs, len(pending)), run_one) as workers:
+            for cell_id, resumed in workers.run(tasks):
+                cell = by_id[cell_id]
+                done += 1
+                say(f"[{done}/{len(pending)}] ran  {cell.cell_id}")
+                stats.ran.append(cell)
+                if resumed:
+                    stats.resumed.append(cell)
+                    say(f"    resumed {cell.cell_id} from mid-cell "
+                        f"checkpoint")
     return stats
 
 

@@ -82,6 +82,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "CompiledRun",
     "compile_run",
+    "scenario_base",
     "validate_composition",
     "run_scenario",
     "build_scenario_plan",
@@ -120,6 +121,32 @@ def validate_composition(spec: ScenarioSpec, kind: str = "auto") -> str:
             f"composes with gossip algorithms only"
         )
     return resolved_kind
+
+
+def scenario_base(
+    spec: ScenarioSpec, preset: ExperimentPreset | None = None
+) -> tuple[ExperimentPreset, int]:
+    """Resolve the execution-base preset and topology degree for one
+    scenario: the named (or injected) preset with the spec's
+    battery-fraction override applied, and the spec's degree falling
+    back to the preset's first.
+
+    The single home of this resolution — :func:`compile_run` and the
+    sweep pool's parent-side dataset prep must agree on it, or a pooled
+    scenario cell would be prepared against a different base than the
+    one compilation wires (and the byte-identity contract would break).
+    """
+    base = preset if preset is not None else get_preset(spec.preset)
+    if spec.energy.battery_fraction is not None:
+        base = dataclasses.replace(
+            base, battery_fraction=spec.energy.battery_fraction
+        )
+    degree = (
+        spec.topology.degree
+        if spec.topology.degree is not None
+        else base.degrees[0]
+    )
+    return base, int(degree)
 
 
 def scenario_mixing_provider(
@@ -281,11 +308,7 @@ def compile_run(
             "async scenarios have no vectorized engine; drop "
             "vectorized=True"
         )
-    base = preset if preset is not None else get_preset(spec.preset)
-    if spec.energy.battery_fraction is not None:
-        base = dataclasses.replace(
-            base, battery_fraction=spec.energy.battery_fraction
-        )
+    base, degree = scenario_base(spec, preset)
     n = base.n_nodes
     run_seed = seed if seed is not None else spec.seed
     rounds = (
@@ -294,11 +317,6 @@ def compile_run(
         else (spec.total_rounds or base.total_rounds)
     )
     eval_every = spec.eval_every if spec.eval_every is not None else base.eval_every
-    degree = (
-        spec.topology.degree
-        if spec.topology.degree is not None
-        else base.degrees[0]
-    )
 
     churn = spec.churn.build(n)
     failure_model = _build_failure_model(spec, n, run_seed)
@@ -428,7 +446,7 @@ def build_scenario_plan(
 
     if not seeds:
         raise ValueError("need at least one seed")
-    base = preset if preset is not None else get_preset(spec.preset)
+    base, degree = scenario_base(spec, preset)
     rounds = (
         total_rounds
         if total_rounds is not None
@@ -436,11 +454,6 @@ def build_scenario_plan(
     )
     if rounds <= 0:
         raise ValueError("total_rounds must be positive")
-    degree = (
-        spec.topology.degree
-        if spec.topology.degree is not None
-        else base.degrees[0]
-    )
     return tuple(
         PlanCell(
             preset=spec.preset,

@@ -10,6 +10,8 @@ Current inventory (``repro check --list-rules`` prints it live):
 * ``checkpoint-fields`` — mutated __init__ state must checkpoint.
 * ``cache-bound`` — dict caches must show an eviction bound.
 * ``artifact-codec`` — result JSON goes through the artifacts codec.
+* ``shm-unlink`` — created shared-memory segments must show an unlink
+  path (reachable ``.unlink()`` or a registered finalizer).
 """
 
 from . import (  # noqa: F401  (import side effect: rule registration)
@@ -17,6 +19,7 @@ from . import (  # noqa: F401  (import side effect: rule registration)
     caches,
     checkpoint,
     determinism,
+    resources,
     rng,
     state_contract,
 )

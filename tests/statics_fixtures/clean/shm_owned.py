@@ -1,0 +1,64 @@
+"""Known-clean shared-memory constructs: every creation site keeps a
+reachable unlink path (in-scope ``.unlink()``, including on a teardown
+branch, or a registered finalizer).
+
+Parsed by the rule tests; must produce zero findings.
+"""
+
+import atexit
+import weakref
+from multiprocessing import shared_memory
+
+
+def publish_and_release(payload):
+    """Creation with the unlink on the failure branch — the sweep
+    pool's publish shape: teardown elsewhere owns the success path."""
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        shm.buf[: len(payload)] = payload
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return shm
+
+
+def publish_with_finalizer(payload):
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    weakref.finalize(shm, _unlink_by_name, shm.name)
+    return shm.name
+
+
+def publish_with_atexit(payload):
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    atexit.register(_unlink_by_name, shm.name)
+    return shm.name
+
+
+def attach_only(name):
+    """Attaching to an existing segment creates nothing to unlink."""
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(shm.buf)
+    finally:
+        shm.close()
+
+
+class SegmentPool:
+    """Class-owned segments with the unlink in a sibling method."""
+
+    def __init__(self, size):
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+
+    def close(self):
+        self._shm.close()
+        self._shm.unlink()
+
+
+def _unlink_by_name(name):
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    segment.close()
+    segment.unlink()

@@ -1,0 +1,28 @@
+"""Seeded violations: shared-memory segments with no unlink path."""
+
+from multiprocessing import shared_memory
+
+_SEGMENT = shared_memory.SharedMemory(create=True, size=64)  # expect: shm-unlink
+
+
+def publish(payload):
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))  # expect: shm-unlink
+    shm.buf[: len(payload)] = payload
+    return shm.name
+
+
+def publish_closes_but_never_unlinks(payload):
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))  # expect: shm-unlink
+    try:
+        shm.buf[: len(payload)] = payload
+    finally:
+        shm.close()  # close releases the mapping, not the /dev/shm entry
+    return shm.name
+
+
+class SegmentOwner:
+    def __init__(self, size):
+        self._shm = shared_memory.SharedMemory(create=True, size=size)  # expect: shm-unlink
+
+    def close(self):
+        self._shm.close()

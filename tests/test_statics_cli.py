@@ -44,6 +44,13 @@ SEEDS = {
         "m.py",
         "import json\ndef save(r, fh):\n    json.dump(r, fh)\n",
     ),
+    "shm-unlink": (
+        "m.py",
+        "from multiprocessing import shared_memory\n"
+        "def publish(n):\n"
+        "    shm = shared_memory.SharedMemory(create=True, size=n)\n"
+        "    return shm.name\n",
+    ),
 }
 
 

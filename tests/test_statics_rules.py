@@ -123,6 +123,19 @@ def test_default_rng_allowed_only_in_simulation_rng(tmp_path):
     ]
 
 
+def test_shm_unlink_rule_fires_everywhere_and_covers_the_pool():
+    """``shm-unlink`` scopes by construct, not directory — a leak in
+    any package is a finding — and the shipped sweep pool (the one real
+    shared-memory user) must satisfy it with zero suppressions."""
+    import repro.experiments.pool as pool_module
+
+    pool_path = Path(pool_module.__file__)
+    src_root = pool_path.parents[2]
+    result = check_paths([pool_path], root=src_root, select=["shm-unlink"])
+    assert result.findings == []
+    assert result.suppressed == []
+
+
 def test_checkpoint_exempt_allowlist(tmp_path):
     src = (
         "class C:\n"

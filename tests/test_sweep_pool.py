@@ -1,0 +1,351 @@
+"""Parallel-correctness battery for the persistent shared-memory sweep
+pool (:mod:`repro.experiments.pool`).
+
+The contract under test: a ``jobs=N`` sweep through the persistent pool
+produces an artifact tree byte-identical to ``jobs=1`` — across sync,
+async, and scenario cells, under sharding, skip-finished reruns,
+mid-cell checkpoints, and any dispatch/completion order — while every
+distinct dataset is prepared exactly once, a crashed worker fails the
+sweep fast with its original traceback, and no shared-memory segment
+ever outlives the sweep (success, failure, or KeyboardInterrupt).
+"""
+
+import dataclasses
+import multiprocessing as mp
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    PoolWorkerError,
+    aggregate_results,
+    artifact_path,
+    async_variant,
+    build_plan,
+    run_sweep,
+    write_summary_csv,
+)
+from repro.experiments.artifacts import checkpoint_path
+from repro.experiments.sweep import SweepRunStats, _run_sweep_persistent
+from repro.scenarios import (
+    AlgorithmSpec,
+    ChurnEventSpec,
+    ChurnSpec,
+    DataSpec,
+    ScenarioSpec,
+)
+from repro.scenarios.compile import build_scenario_plan
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="the persistent pool requires the fork start method",
+)
+
+SHM_DIR = Path("/dev/shm")
+
+
+def shm_segments() -> set:
+    """Current multiprocessing shared-memory entries in /dev/shm."""
+    if not SHM_DIR.is_dir():
+        return set()
+    return {p.name for p in SHM_DIR.iterdir() if p.name.startswith("psm_")}
+
+
+@pytest.fixture
+def micro_preset(tiny_preset):
+    """The orchestration-test preset: 12 rounds, eval every 2, sampled
+    evaluation, budgets that keep constrained algorithms active."""
+    return dataclasses.replace(
+        tiny_preset,
+        name="micro",
+        total_rounds=12,
+        eval_every=2,
+        eval_node_sample=4,
+        battery_fraction=0.1,
+    )
+
+
+@pytest.fixture
+def micro_async(micro_preset):
+    return async_variant(micro_preset)
+
+
+SCENARIO = ScenarioSpec(
+    name="pool-churn-skew",
+    preset="micro",
+    total_rounds=12,
+    eval_every=2,
+    churn=ChurnSpec(
+        initially_absent=(2,),
+        events=(
+            ChurnEventSpec(round=4, node=2, action="join"),
+            ChurnEventSpec(round=6, node=5, action="leave"),
+        ),
+    ),
+    data=DataSpec(partition="dirichlet", alpha=0.5),
+    algorithm=AlgorithmSpec(name="skiptrain"),
+)
+
+PLAIN_SCENARIO = ScenarioSpec(
+    name="pool-plain",
+    preset="micro",
+    total_rounds=12,
+    eval_every=2,
+    algorithm=AlgorithmSpec(name="d-psgd"),
+)
+
+SPECS = {s.name: s for s in (SCENARIO, PLAIN_SCENARIO)}
+
+
+def lookup_for(*presets):
+    table = {p.name: p for p in presets}
+    return table.__getitem__
+
+
+def mixed_plan(micro_preset, micro_async):
+    """Sync + async + scenario cells in one plan."""
+    plan = build_plan(micro_preset, ("skiptrain", "d-psgd"), degrees=(3,),
+                      seeds=(0, 1))
+    plan += build_plan(micro_async, ("async-skiptrain",), degrees=(3,),
+                       seeds=(0,), kind="async")
+    plan += build_scenario_plan(SCENARIO, seeds=(0,), preset=micro_preset)
+    return plan
+
+
+def assert_trees_identical(plan, ref_dir, got_dir):
+    for cell in plan:
+        ref = artifact_path(ref_dir, cell).read_bytes()
+        got = artifact_path(got_dir, cell).read_bytes()
+        assert got == ref, f"artifact differs for {cell.cell_id}"
+    ref_csv = write_summary_csv(aggregate_results(ref_dir)[0],
+                                ref_dir / "summary.csv")
+    got_csv = write_summary_csv(aggregate_results(got_dir)[0],
+                                got_dir / "summary.csv")
+    assert got_csv.read_bytes() == ref_csv.read_bytes()
+
+
+class TestByteIdentity:
+    def test_jobs4_identical_to_serial_across_kinds(
+        self, micro_preset, micro_async, tmp_path
+    ):
+        """Sync, async, and scenario cells through 4 persistent workers
+        produce the same bytes as a serial run — and every /dev/shm
+        segment is gone afterwards."""
+        plan = mixed_plan(micro_preset, micro_async)
+        lookup = lookup_for(micro_preset, micro_async)
+        serial, pooled = tmp_path / "serial", tmp_path / "pooled"
+        run_sweep(plan, serial, preset_lookup=lookup,
+                  scenario_lookup=SPECS.__getitem__)
+        before = shm_segments()
+        stats = run_sweep(plan, pooled, jobs=4, preset_lookup=lookup,
+                          scenario_lookup=SPECS.__getitem__)
+        assert shm_segments() - before == set()
+        assert len(stats.ran) == len(plan) and not stats.skipped
+        assert_trees_identical(plan, serial, pooled)
+
+    def test_sharded_pool_union_identical_to_serial(
+        self, micro_preset, tmp_path
+    ):
+        plan = build_plan(micro_preset, ("skiptrain", "d-psgd"),
+                          degrees=(3,), seeds=(0, 1))
+        lookup = lookup_for(micro_preset)
+        serial, split = tmp_path / "serial", tmp_path / "split"
+        run_sweep(plan, serial, preset_lookup=lookup)
+        run_sweep(plan, split, shard=(1, 2), jobs=2, preset_lookup=lookup)
+        run_sweep(plan, split, shard=(2, 2), jobs=2, preset_lookup=lookup)
+        assert_trees_identical(plan, serial, split)
+
+    def test_skip_finished_rerun_through_pool(self, micro_preset, tmp_path):
+        plan = build_plan(micro_preset, ("skiptrain",), degrees=(3,),
+                          seeds=(0, 1, 2))
+        lookup = lookup_for(micro_preset)
+        first = run_sweep(plan[:2], tmp_path, jobs=2, preset_lookup=lookup)
+        assert len(first.ran) == 2
+        again = run_sweep(plan, tmp_path, jobs=2, preset_lookup=lookup)
+        assert len(again.skipped) == 2 and len(again.ran) == 1
+        # only the pending cell's dataset was prepared on the rerun
+        [leftover] = again.ran
+        assert again.prepped == [("micro", leftover.seed, None, None)]
+
+    def test_mid_cell_checkpoint_resume_through_pool(
+        self, micro_preset, tmp_path
+    ):
+        """A cell killed mid-run inside a worker leaves its checkpoint;
+        a pooled rerun resumes it into bytes identical to serial."""
+        plan = build_plan(micro_preset, ("skiptrain", "d-psgd"),
+                          degrees=(3,), seeds=(0,))
+        lookup = lookup_for(micro_preset)
+        serial, killed = tmp_path / "serial", tmp_path / "killed"
+        run_sweep(plan, serial, preset_lookup=lookup, checkpoint_every=2)
+
+        class Kill(Exception):
+            pass
+
+        def killer(engine, t, history, last_eval):
+            if t == 9:  # past at least one eval-round checkpoint
+                raise Kill
+
+        with pytest.raises(PoolWorkerError) as err:
+            run_sweep(plan, killed, jobs=2, preset_lookup=lookup,
+                      checkpoint_every=2, round_hook=killer)
+        assert "Kill" in str(err.value)
+        ckpts = [c for c in plan if checkpoint_path(killed, c).is_file()]
+        assert ckpts, "no mid-cell checkpoint left behind"
+        stats = run_sweep(plan, killed, jobs=2, preset_lookup=lookup,
+                          checkpoint_every=2)
+        assert stats.resumed, "rerun did not resume from the checkpoint"
+        assert_trees_identical(plan, serial, killed)
+
+
+class TestQueueOrderProperty:
+    def test_shuffled_dispatch_orders_byte_identical(
+        self, micro_preset, micro_async, tmp_path
+    ):
+        """Property: whatever order cells are queued (and whatever order
+        workers finish them), every artifact and the summary CSV are
+        byte-identical."""
+        plan = mixed_plan(micro_preset, micro_async)
+        lookup = lookup_for(micro_preset, micro_async)
+        serial = tmp_path / "serial"
+        run_sweep(plan, serial, preset_lookup=lookup,
+                  scenario_lookup=SPECS.__getitem__)
+        for trial in range(2):
+            shuffled = list(plan)
+            random.Random(trial).shuffle(shuffled)
+            out = tmp_path / f"shuffled{trial}"
+            stats = _run_sweep_persistent(
+                shuffled, out, SweepRunStats(), lambda msg: None,
+                checkpoint_every=0, vectorized=False, jobs=3,
+                preset_lookup=lookup, round_hook=None,
+                scenario_lookup=SPECS.__getitem__,
+            )
+            assert len(stats.ran) == len(plan)
+            assert_trees_identical(plan, serial, out)
+
+
+class TestPrepCache:
+    def test_each_dataset_prepped_exactly_once(self, micro_preset, tmp_path):
+        """8 cells over 2 algorithms × 2 degrees × 2 seeds share 2
+        datasets; a no-override scenario shares the plain cells'
+        segment and a dirichlet-skew scenario gets its own."""
+        preset = dataclasses.replace(micro_preset, degrees=(3, 4))
+        plan = build_plan(preset, ("skiptrain", "d-psgd"), degrees=(3, 4),
+                          seeds=(0, 1))
+        plan += build_scenario_plan(PLAIN_SCENARIO, seeds=(0,), preset=preset)
+        plan += build_scenario_plan(SCENARIO, seeds=(0,), preset=preset)
+        assert len(plan) == 10
+        stats = run_sweep(plan, tmp_path, jobs=4,
+                          preset_lookup=lookup_for(preset),
+                          scenario_lookup=SPECS.__getitem__)
+        assert len(stats.ran) == 10
+        assert set(stats.prepped) == {
+            ("micro", 0, None, None),        # seed 0: 4 plain + pool-plain
+            ("micro", 0, "dirichlet", 0.5),  # pool-churn-skew's data axis
+            ("micro", 1, None, None),        # seed 1: 4 plain cells
+        }
+        assert len(stats.prepped) == 3  # exactly once each, no repeats
+
+
+class TestFailureAndTeardown:
+    def test_worker_crash_surfaces_original_traceback(
+        self, micro_preset, tmp_path
+    ):
+        plan = build_plan(micro_preset, ("skiptrain", "d-psgd"),
+                          degrees=(3,), seeds=(0, 1))
+
+        def bomb(engine, t, history, last_eval):
+            if t == 3:
+                raise ValueError("pool-test-detonation")
+
+        before = shm_segments()
+        with pytest.raises(PoolWorkerError) as err:
+            run_sweep(plan, tmp_path, jobs=2,
+                      preset_lookup=lookup_for(micro_preset),
+                      round_hook=bomb)
+        # the worker's original traceback, not a pickling shadow of it
+        assert "pool-test-detonation" in str(err.value)
+        assert "ValueError" in str(err.value)
+        assert "in bomb" in err.value.worker_traceback
+        assert err.value.cell_id, "failing cell not identified"
+        # clean shutdown: no segment leaked
+        assert shm_segments() - before == set()
+
+    def test_sweep_completes_after_a_crashed_run(self, micro_preset, tmp_path):
+        """The failed sweep leaves a usable results dir: a rerun skips
+        whatever finished before the crash and completes the rest."""
+        plan = build_plan(micro_preset, ("skiptrain", "d-psgd"),
+                          degrees=(3,), seeds=(0, 1))
+
+        def bomb(engine, t, history, last_eval):
+            if t == 3:
+                raise ValueError("pool-test-detonation")
+
+        with pytest.raises(PoolWorkerError):
+            run_sweep(plan, tmp_path, jobs=2,
+                      preset_lookup=lookup_for(micro_preset),
+                      round_hook=bomb)
+        stats = run_sweep(plan, tmp_path, jobs=2,
+                          preset_lookup=lookup_for(micro_preset))
+        assert len(stats.ran) + len(stats.skipped) == len(plan)
+        for cell in plan:
+            assert artifact_path(tmp_path, cell).is_file()
+
+    def test_segments_unlinked_on_success(self, micro_preset, tmp_path):
+        plan = build_plan(micro_preset, ("skiptrain",), degrees=(3,),
+                          seeds=(0, 1))
+        before = shm_segments()
+        run_sweep(plan, tmp_path, jobs=2,
+                  preset_lookup=lookup_for(micro_preset))
+        assert shm_segments() - before == set()
+
+    def test_segments_unlinked_on_keyboard_interrupt(
+        self, micro_preset, tmp_path
+    ):
+        """A parent-side Ctrl-C mid-sweep (raised from the progress
+        logger, i.e. between cell completions) still unlinks every
+        segment on the way out."""
+        plan = build_plan(micro_preset, ("skiptrain", "d-psgd"),
+                          degrees=(3,), seeds=(0, 1))
+
+        def interrupting_log(msg):
+            if "] ran " in msg:
+                raise KeyboardInterrupt
+
+        before = shm_segments()
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(plan, tmp_path, jobs=2,
+                      preset_lookup=lookup_for(micro_preset),
+                      log=interrupting_log)
+        assert shm_segments() - before == set()
+
+    def test_unknown_pool_backend_rejected(self, micro_preset, tmp_path):
+        plan = build_plan(micro_preset, ("skiptrain",), degrees=(3,),
+                          seeds=(0,))
+        with pytest.raises(ValueError, match="pool"):
+            run_sweep(plan, tmp_path, jobs=2, pool="threads",
+                      preset_lookup=lookup_for(micro_preset))
+
+
+class TestLegacyForkBackendConformance:
+    def test_fork_backend_still_byte_identical(self, micro_preset, tmp_path):
+        """The legacy per-group pool stays available behind
+        ``pool="fork"`` and keeps the same byte contract."""
+        plan = build_plan(micro_preset, ("skiptrain", "d-psgd"),
+                          degrees=(3,), seeds=(0, 1))
+        lookup = lookup_for(micro_preset)
+        serial, forked = tmp_path / "serial", tmp_path / "forked"
+        run_sweep(plan, serial, preset_lookup=lookup)
+        stats = run_sweep(plan, forked, jobs=2, pool="fork",
+                          preset_lookup=lookup)
+        assert len(stats.ran) == len(plan)
+        assert stats.prepped == []  # shm publication is persistent-only
+        assert_trees_identical(plan, serial, forked)
+
+
+def test_os_cpu_note():
+    """Not an assertion — documents that byte-identity tests above are
+    scheduling-independent: they pass on 1 CPU (where workers simply
+    time-slice) and on many."""
+    assert os.cpu_count() >= 1
