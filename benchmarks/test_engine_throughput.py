@@ -18,6 +18,12 @@ batched eval must never be slower than serial at 64 nodes (quick mode)
 and must deliver ≥3× (full mode, ``slow`` marker); the pooled sweep
 must beat serial whenever the machine has ≥2 cores (quick mode) and
 deliver ≥1.3× on ≥4 cores (full mode).
+
+The ``test_async_*`` family tracks the event-driven engine: activation
+events per second through the serial loop and under disjoint event
+batching (``vectorized=True``), with the batched mode gated at
+never-slower (quick) and ≥2× (full mode) over serial at 64 nodes —
+after asserting the two modes' trajectories are bit-identical.
 """
 
 import time
@@ -292,7 +298,7 @@ def test_batched_eval_speedup_at_64_nodes():
 # -- async gossip engine: events/sec (tracked baseline) -----------------------
 
 
-def _async_engine(n_nodes: int):
+def _async_engine(n_nodes: int, *, vectorized: bool = False):
     """Bench-model async engine: same MLP/data scale as the sync
     throughput benches, tiny test set so evaluation stays negligible."""
     from repro.simulation import AsyncGossipEngine, RngFactory, build_nodes
@@ -312,7 +318,7 @@ def _async_engine(n_nodes: int):
     return AsyncGossipEngine(
         model, nodes, neighbor_lists(graph), test,
         local_steps=8, learning_rate=0.2, rng=rngs.stream("events"),
-        eval_rng=rngs.stream("async-eval"),
+        eval_rng=rngs.stream("async-eval"), vectorized=vectorized,
     )
 
 
@@ -340,6 +346,72 @@ def test_async_events_throughput():
         "events_per_s": round(events / best, 3),
     })
     assert best > 0.0
+
+
+def _measure_async_events(n_nodes: int = 64, activations: int = 4):
+    """(serial_seconds, batched_seconds) for one full async run, after
+    asserting the two modes end in bit-identical states and histories
+    (the disjoint-event-batching contract the conformance suite
+    enforces in depth)."""
+    from repro.simulation import AsyncDPSGD
+
+    events = n_nodes * activations
+
+    def run(vectorized: bool):
+        eng = _async_engine(n_nodes, vectorized=vectorized)
+        hist = eng.run(AsyncDPSGD(), activations_per_node=activations,
+                       eval_every=events)
+        return eng, hist
+
+    eng_s, hist_s = run(False)
+    eng_b, hist_b = run(True)
+    np.testing.assert_array_equal(eng_s.state, eng_b.state)
+    assert repr(hist_s.records) == repr(hist_b.records)
+
+    serial_s = _best_of(lambda: run(False))
+    batched_s = _best_of(lambda: run(True))
+    return serial_s, batched_s, events
+
+
+def test_async_events_batched_not_slower_at_64_nodes():
+    """Quick-mode CI gate: disjoint event batching must never lose to
+    the serial event loop at 64 nodes (the full ≥2× gate carries the
+    ``slow`` marker). Recorded as ``async_events_per_sec_batched``."""
+    serial_s, batched_s, events = _measure_async_events()
+    record_bench("async_events_per_sec_batched", {
+        "n_nodes": 64,
+        "events": events,
+        "serial_s": round(serial_s, 6),
+        "batched_s": round(batched_s, 6),
+        "serial_events_per_s": round(events / serial_s, 3),
+        "batched_events_per_s": round(events / batched_s, 3),
+        "speedup": round(serial_s / batched_s, 3),
+    })
+    assert batched_s <= serial_s, (
+        f"batched async engine slower than serial at 64 nodes: "
+        f"{batched_s:.4f}s vs {serial_s:.4f}s"
+    )
+
+
+@pytest.mark.slow
+def test_async_events_batched_speedup_at_64_nodes():
+    """Acceptance gate: ≥2× events/sec from disjoint event batching at
+    64 nodes (the serial loop pays one Python-level training pass per
+    event; batching amortizes it into stacked passes per disjoint
+    batch)."""
+    serial_s, batched_s, events = _measure_async_events()
+    speedup = serial_s / batched_s
+    record_bench("async_events_speedup_n64", {
+        "n_nodes": 64,
+        "events": events,
+        "serial_s": round(serial_s, 6),
+        "batched_s": round(batched_s, 6),
+        "speedup": round(speedup, 3),
+    })
+    assert speedup >= 2.0, (
+        f"batched async engine too slow at 64 nodes: {speedup:.2f}x "
+        f"(need >=2x)"
+    )
 
 
 # -- sweep cell parallelism: --jobs 1 vs --jobs 4 (tracked baseline) ----------

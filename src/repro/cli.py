@@ -56,6 +56,19 @@ import sys
 __all__ = ["main", "build_parser"]
 
 
+def _jobs_arg(value: str):
+    """``--jobs`` parser: a positive int, or the literal ``auto`` (the
+    sweep resolves it against ``os.cpu_count()`` at run time)."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -105,6 +118,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_arun.add_argument("--enforce-budgets", action="store_true",
                         help="stop nodes from training once their τᵢ "
                              "battery budget is spent")
+    p_arun.add_argument("--vectorized", action="store_true",
+                        help="batch disjoint events through the stacked "
+                             "kernels (bit-identical trajectory)")
 
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument("number", type=int, choices=[1, 2, 3, 4])
@@ -159,8 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="override the spec's total rounds "
                                 "(async: expected activations per node)")
     p_scn_run.add_argument("--vectorized", action="store_true",
-                           help="run sync scenarios on the batched "
-                                "multi-node engine")
+                           help="run the scenario on the batched engine "
+                                "(sync: batched rounds; async: disjoint "
+                                "event batching — both bit-identical)")
     p_scn_trace = scn_sub.add_parser(
         "trace",
         help="run one scenario and print its golden regression trace "
@@ -209,12 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="checkpoint long cells about every ROUNDS "
                               "rounds so a kill resumes mid-cell (0 = off)")
     p_sweep.add_argument("--vectorized", action="store_true",
-                         help="run cells on the batched multi-node engine "
+                         help="run cells on the batched engine — sync "
+                              "rounds and async event windows alike "
                               "(bit-compatible with serial)")
-    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+    p_sweep.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
                          help="run this shard's cells in N parallel worker "
-                              "processes (artifacts byte-identical to "
-                              "--jobs 1; composes with --shard and "
+                              "processes, or 'auto' to use os.cpu_count() "
+                              "(artifacts byte-identical to --jobs 1; "
+                              "composes with --shard and "
                               "--checkpoint-every)")
     p_sweep.add_argument("--pool", choices=["persistent", "fork"],
                          default="persistent",
@@ -328,7 +347,7 @@ def _cmd_async_run(args: argparse.Namespace) -> int:
     result = run_async_algorithm(
         prepared, args.algorithm, schedule=schedule,
         activations_per_node=args.activations, eval_every=args.eval_every,
-        enforce_budgets=args.enforce_budgets,
+        enforce_budgets=args.enforce_budgets, vectorized=args.vectorized,
     )
     print(f"preset={preset.name} degree={degree} algorithm={args.algorithm}")
     for record in result.history.records:
@@ -489,10 +508,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"error: {async_named} run on the async engine; add "
                   f"--kind async", file=sys.stderr)
             return 2
-    if kind == "async" and args.vectorized:
-        print("error: async cells have no vectorized engine; drop "
-              "--vectorized for --kind async", file=sys.stderr)
-        return 2
     try:
         shard = parse_shard(args.shard)
         plan = build_plan(
@@ -523,8 +538,8 @@ def _execute_sweep_plan(args: argparse.Namespace, plan, shard,
             print(f"{cell.cell_id}  [{status}]")
         print(f"\nshard {args.shard}: {len(selected)} of {len(plan)} cells")
         return 0
-    if args.jobs <= 0:
-        print("error: --jobs must be positive", file=sys.stderr)
+    if args.jobs != "auto" and args.jobs <= 0:
+        print("error: --jobs must be positive (or 'auto')", file=sys.stderr)
         return 2
     stats = run_sweep(
         plan,
@@ -536,10 +551,12 @@ def _execute_sweep_plan(args: argparse.Namespace, plan, shard,
         pool=args.pool,
         log=print,
     )
+    jobs_note = (f" [--jobs auto -> {stats.jobs_resolved}]"
+                 if args.jobs == "auto" else "")
     print(f"{label}shard {args.shard}: ran {len(stats.ran)} "
           f"({len(stats.resumed)} resumed mid-cell), "
           f"skipped {len(stats.skipped)} already-complete cells; "
-          f"artifacts under {args.results_dir}/raw")
+          f"artifacts under {args.results_dir}/raw{jobs_note}")
     return 0
 
 
@@ -571,10 +588,6 @@ def _cmd_sweep_scenario(args: argparse.Namespace) -> int:
         # any explicit contradictory value — sync or async — errors
         print(f"error: scenario {spec.name!r} compiles to kind "
               f"{spec.kind!r}; drop --kind {args.kind}", file=sys.stderr)
-        return 2
-    if spec.kind == "async" and args.vectorized:
-        print("error: async scenarios have no vectorized engine; drop "
-              "--vectorized", file=sys.stderr)
         return 2
     if args.checkpoint_every > 0 and spec.failures.kind == "independent":
         print(f"error: scenario {spec.name!r} uses rng-backed "

@@ -320,6 +320,7 @@ def write_async_cell_artifact(
     results_dir: str | os.PathLike,
     cell: PlanCell,
     result: "AsyncExperimentResult",
+    vectorized: bool = False,
 ) -> Path:
     """Atomically write one async cell's artifact: the same
     self-describing shape as :func:`write_cell_artifact`, with history
@@ -327,7 +328,9 @@ def write_async_cell_artifact(
     ``results`` block carries the same keys as sync artifacts (the
     async engine meters no communication energy, so ``total_comm_wh``
     is 0.0), so :func:`aggregate_results` folds sync and async cells
-    through one code path."""
+    through one code path. ``vectorized`` records the engine flavor as
+    provenance, like sync artifacts — the results and history blocks
+    are bit-identical either way."""
     if cell.kind != "async":
         raise ValueError(
             f"cell {cell.cell_id} has kind {cell.kind!r}; async artifacts "
@@ -336,7 +339,10 @@ def write_async_cell_artifact(
     payload = {
         "schema": ASYNC_ARTIFACT_SCHEMA,
         "cell": _cell_to_json(cell),
-        "engine": {"events": cell.total_rounds * result.trace.n_nodes},
+        "engine": {
+            "events": cell.total_rounds * result.trace.n_nodes,
+            "vectorized": vectorized,
+        },
         "results": {
             "final_accuracy": result.history.final_accuracy(),
             "best_accuracy": result.history.best_accuracy(),

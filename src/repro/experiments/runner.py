@@ -480,6 +480,7 @@ def build_async_run(
     failure_model: "FailureModel | None" = None,
     enforce_budgets: bool = False,
     churn=None,
+    vectorized: bool = False,
 ) -> tuple[AsyncGossipEngine, AsyncPolicy]:
     """Wire the (engine, policy) pair for one async cell without
     running it.
@@ -492,6 +493,9 @@ def build_async_run(
     sweep orchestrator relies on to restore mid-run checkpoints.
     ``activations_per_node`` defaults to the preset's ``total_rounds``
     (one expected activation ≈ one round at unit clock rate).
+    ``vectorized`` selects disjoint event batching — bit-identical to
+    the serial event loop (see
+    :mod:`repro.simulation.event_batch`).
     """
     from ..topology.graphs import neighbor_lists, regular_graph
 
@@ -523,6 +527,7 @@ def build_async_run(
         failure_model=failure_model,
         enforce_budgets=enforce_budgets,
         churn=churn,
+        vectorized=vectorized,
     )
     if isinstance(algorithm, str):
         policy = _make_async_policy(
@@ -543,6 +548,7 @@ def run_async_algorithm(
     eval_mode: str = "auto",
     failure_model: "FailureModel | None" = None,
     enforce_budgets: bool = False,
+    vectorized: bool = False,
 ) -> AsyncExperimentResult:
     """Run one async gossip policy on a prepared experiment cell.
 
@@ -550,6 +556,8 @@ def run_async_algorithm(
     activations per node); it is scaled by ``n`` into an event cadence,
     so async histories carry about as many records as a sync run of the
     same preset. Defaults to the preset's ``eval_every``.
+    ``vectorized`` batches disjoint events through the stacked kernels
+    (results bit-identical to the serial event loop).
     """
     engine, policy = build_async_run(
         prepared,
@@ -560,6 +568,7 @@ def run_async_algorithm(
         eval_mode=eval_mode,
         failure_model=failure_model,
         enforce_budgets=enforce_budgets,
+        vectorized=vectorized,
     )
     preset = prepared.preset
     activations = (

@@ -191,12 +191,17 @@ class SweepRunStats:
     shared it (empty for the serial and legacy fork backends). The
     parallel-correctness tests assert on it to prove each dataset is
     prepared exactly once per sweep.
+
+    ``jobs_resolved`` is the worker count the sweep actually ran with
+    after resolving ``jobs="auto"`` against ``os.cpu_count()`` (1 for
+    a serial run — including the single-CPU fallback).
     """
 
     ran: list[PlanCell] = field(default_factory=list)
     skipped: list[PlanCell] = field(default_factory=list)
     resumed: list[PlanCell] = field(default_factory=list)
     prepped: list[tuple] = field(default_factory=list)
+    jobs_resolved: int = 1
 
 
 def run_cell(
@@ -243,11 +248,6 @@ def run_cell(
             f"cell {cell.cell_id} belongs to preset {cell.preset!r}, "
             f"got {preset.name!r}"
         )
-    if cell.kind == "async" and vectorized:
-        raise ValueError(
-            "async cells have no vectorized engine; drop --vectorized "
-            "for kind=async sweeps"
-        )
     if cell.scenario:
         return _run_scenario_cell(
             preset, cell, results_dir, prepared=prepared,
@@ -258,12 +258,14 @@ def run_cell(
         prepared = prepare(preset, cell.degree, seed=cell.seed)
     if cell.kind == "async":
         engine, policy = build_async_run(
-            prepared, cell.algorithm, activations_per_node=cell.total_rounds
+            prepared, cell.algorithm, activations_per_node=cell.total_rounds,
+            vectorized=vectorized,
         )
         return _execute_async_cell(
             engine, policy, cell, results_dir, prepared.trace,
             eval_every_rounds=preset.eval_every,
-            checkpoint_every=checkpoint_every, round_hook=round_hook,
+            checkpoint_every=checkpoint_every, vectorized=vectorized,
+            round_hook=round_hook,
         )
     engine, algo = build_run(
         prepared,
@@ -341,7 +343,8 @@ def _run_scenario_cell(
         return _execute_async_cell(
             compiled.engine, compiled.algorithm, cell, results_dir,
             compiled.prepared.trace, eval_every_rounds=compiled.eval_every,
-            checkpoint_every=checkpoint_every, round_hook=round_hook,
+            checkpoint_every=checkpoint_every, vectorized=vectorized,
+            round_hook=round_hook,
         )
     return _execute_sync_cell(
         compiled.engine, compiled.algorithm, cell, results_dir,
@@ -404,11 +407,14 @@ def _execute_async_cell(
     *,
     eval_every_rounds: int,
     checkpoint_every: int,
+    vectorized: bool = False,
     round_hook: Callable | None,
 ) -> tuple[AsyncExperimentResult, bool]:
-    """The ``kind="async"`` twin of :func:`_execute_sync_cell` (any
+    """The ``kind="async"`` twin of :func:`_execute_sync_cell`. Any
     event boundary resumes exactly, so checkpoints need no alignment
-    with evaluation events)."""
+    with evaluation events; under ``vectorized=True`` the hook only
+    fires at evaluation boundaries, so checkpoints land on those (the
+    sync engine's cadence) while resume stays boundary-free."""
     n = engine.n_nodes
     total_events = n * cell.total_rounds
     ckpt = checkpoint_path(results_dir, cell)
@@ -445,7 +451,8 @@ def _execute_async_cell(
         train_energy_wh=engine.train_energy_wh,
         trace=trace,
     )
-    write_async_cell_artifact(results_dir, cell, result)
+    write_async_cell_artifact(results_dir, cell, result,
+                              vectorized=vectorized)
     ckpt.unlink(missing_ok=True)
     return result, resumed
 
@@ -491,7 +498,7 @@ def run_sweep(
     shard: tuple[int, int] = (1, 1),
     checkpoint_every: int = 0,
     vectorized: bool = False,
-    jobs: int = 1,
+    jobs: int | str = 1,
     pool: str = "persistent",
     preset_lookup: Callable[[str], ExperimentPreset] = get_preset,
     log: Callable[[str], None] | None = None,
@@ -530,7 +537,18 @@ def run_sweep(
     ``jobs > 1``. Both backends require the ``fork`` start method
     (Linux; presets and hooks need not be picklable) — elsewhere, run
     ``jobs=1`` per shard and split work with ``shard`` instead.
+
+    ``jobs="auto"`` resolves the worker count from ``os.cpu_count()``,
+    falling back to a serial run on a single-CPU box (or when the fork
+    start method is unavailable); the resolved value is recorded in
+    ``SweepRunStats.jobs_resolved``.
     """
+    if jobs == "auto":
+        jobs = os.cpu_count() or 1
+        if jobs > 1 and "fork" not in mp.get_all_start_methods():
+            jobs = 1
+    elif not isinstance(jobs, int):
+        raise ValueError(f'jobs must be a positive int or "auto", got {jobs!r}')
     if jobs <= 0:
         raise ValueError("jobs must be positive")
     if pool not in ("persistent", "fork"):
@@ -548,7 +566,7 @@ def run_sweep(
         shard_cells(cells, index, count),
         key=lambda c: (c.preset, c.degree, c.seed),
     )
-    stats = SweepRunStats()
+    stats = SweepRunStats(jobs_resolved=jobs)
     say = log if log is not None else (lambda msg: None)
     if jobs > 1:
         backend = (

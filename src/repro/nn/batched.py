@@ -663,6 +663,30 @@ class BatchedTrainer:
             block[pos] = sub
         return losses
 
+    def train_rows(
+        self,
+        state: np.ndarray,
+        ids: np.ndarray,
+        batch_lists: Sequence[Sequence[tuple[np.ndarray, np.ndarray]]],
+    ) -> np.ndarray:
+        """Gather rows ``ids`` of ``state``, train each on its batch
+        list, and scatter the results back — the arbitrary-subset entry
+        point both engines use (the sync engine trains the round's
+        masked nodes; the async engine one disjoint event batch).
+
+        ``ids`` may list rows in any order and the order is honoured:
+        ``state[ids[p]]`` trains on ``batch_lists[p]``. The gather is a
+        fancy-index copy, so rows not listed are never touched. Returns
+        per-row mean losses in ``ids`` order.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.empty(0)
+        block = state[ids]  # fancy index: a copy
+        losses = self.train_block(block, batch_lists)
+        state[ids] = block
+        return losses
+
     def _train_uniform(
         self,
         block: np.ndarray,

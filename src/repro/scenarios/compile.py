@@ -95,9 +95,8 @@ TRACE_SCHEMA = "repro/scenario-trace/v1"
 
 def validate_composition(spec: ScenarioSpec, kind: str = "auto") -> str:
     """The compile-time composition rules that need no preset lookup:
-    kind consistency, async × dynamic topology, async × vectorized
-    (checked by the caller), churn × all-reduce. Returns the resolved
-    kind. :func:`compile_run` calls this first; the CLI calls it up
+    kind consistency, async × dynamic topology, churn × all-reduce.
+    Returns the resolved kind. :func:`compile_run` calls this first; the CLI calls it up
     front so an invalid registered scenario fails with a clean error
     before any cell starts."""
     if kind not in ("auto", "sync", "async"):
@@ -303,11 +302,6 @@ def compile_run(
     prepared experiment.
     """
     resolved_kind = validate_composition(spec, kind)
-    if resolved_kind == "async" and vectorized:
-        raise ValueError(
-            "async scenarios have no vectorized engine; drop "
-            "vectorized=True"
-        )
     base, degree = scenario_base(spec, preset)
     n = base.n_nodes
     run_seed = seed if seed is not None else spec.seed
@@ -362,6 +356,7 @@ def compile_run(
             failure_model=failure_model,
             enforce_budgets=spec.energy.enforce_budgets,
             churn=churn,
+            vectorized=vectorized,
         )
     return CompiledRun(
         spec=spec,

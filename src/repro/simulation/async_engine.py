@@ -45,6 +45,28 @@ counters, and policy state — round-trip through
 :meth:`AsyncGossipEngine.state_dict`, so a killed run restored via
 :func:`~repro.simulation.checkpoint.load_async_run_checkpoint`
 continues bit-for-bit from any event boundary.
+
+Serial vs vectorized event execution
+------------------------------------
+``vectorized=True`` selects disjoint event batching
+(:mod:`repro.simulation.event_batch`): between evaluation boundaries,
+events whose (activator, partner) node sets are pairwise disjoint are
+packed into batches whose local training runs as one pass through the
+stacked :mod:`repro.nn.batched` kernels, with the gossip averages then
+applied in original event order. The trajectory — state matrix,
+counters, rng streams, history records — is **bit-identical** to the
+serial event loop (the same contract the sync engine's ``vectorized``
+flag keeps), because batched events touch disjoint state rows, each
+node's batch rng stream is private, and all shared randomness is
+consumed in serial event order at planning time. Two observable
+differences remain: ``event_hook`` fires once per completed window
+(always an evaluation boundary) instead of once per event, and models
+without a batched mirror raise
+:class:`~repro.nn.batched.UnsupportedLayerError` at construction.
+Checkpoints written from the window-end hook therefore land on
+evaluation boundaries, but *resuming* works from any serial event
+boundary — the evaluation cadence is absolute in the event index, so a
+resumed vectorized run simply plans a shorter first window.
 """
 
 from __future__ import annotations
@@ -58,11 +80,12 @@ import numpy as np
 from ..core.schedule import RoundSchedule
 from ..data.dataset import ArrayDataset
 from ..energy.traces import EnergyTrace
-from ..nn.batched import make_evaluator
+from ..nn.batched import BatchedTrainer, make_evaluator
 from ..nn.losses import CrossEntropyLoss
 from ..nn.module import Module
 from ..nn.optim import SGD
 from ..nn.serialization import parameter_vector, set_parameter_vector
+from .event_batch import EventBatch, plan_window
 from .metrics import consensus_distance, evaluate_state, membership_eval_pool
 from .node import Node
 from .rng import generator_state, restore_generator
@@ -252,6 +275,11 @@ class AsyncGossipEngine:
     Pass an explicit generator when wiring the engine from a
     :class:`~repro.simulation.rng.RngFactory` (restored generators
     cannot spawn).
+
+    ``vectorized`` selects disjoint event batching (bit-identical to
+    the serial loop; see the module docstring), raising
+    :class:`~repro.nn.batched.UnsupportedLayerError` at construction
+    for models without a batched mirror.
     """
 
     def __init__(
@@ -270,6 +298,7 @@ class AsyncGossipEngine:
         failure_model: "FailureModel | None" = None,
         enforce_budgets: bool = False,
         churn: "ChurnSchedule | None" = None,
+        vectorized: bool = False,
     ) -> None:
         n = len(nodes)
         if n != len(neighbor_lists):
@@ -303,6 +332,13 @@ class AsyncGossipEngine:
         #: itself is a pure function of the round index)
         self._churn_round = 0
         self._evaluator = make_evaluator(model, eval_mode)
+        self.vectorized = vectorized
+        #: stacked-kernel trainer for event batches — constructed
+        #: eagerly so unsupported layers fail at construction, exactly
+        #: like the sync engine's vectorized flag
+        self._trainer = (
+            BatchedTrainer(model, lr=learning_rate) if vectorized else None
+        )
         self.loss = CrossEntropyLoss()
         self.optimizer = SGD(model.parameters(), lr=learning_rate)
         init = parameter_vector(model)
@@ -398,6 +434,62 @@ class AsyncGossipEngine:
                     self.state, joiners, lambda i: self.neighbors[i], eligible
                 )
         self._churn_round = t
+
+    def _execute_batch(self, batch: EventBatch) -> None:
+        """Apply one planned disjoint batch to the state matrix: churn
+        handoffs first (the batch opener's serial position), then one
+        stacked training pass over the batch's activators, then the
+        pairwise gossip averages in original event order. All node sets
+        in the batch are pairwise disjoint, so this ordering is
+        arithmetically identical to the serial per-event interleaving.
+        """
+        if batch.churn_t is not None:
+            self._advance_churn(batch.churn_t)
+        if batch.train_ids:
+            assert self._trainer is not None
+            batch_lists = [
+                [self.nodes[i].sample_batch() for _ in range(self.local_steps)]
+                for i in batch.train_ids
+            ]
+            self._trainer.train_rows(
+                self.state,
+                np.asarray(batch.train_ids, dtype=np.int64),
+                batch_lists,
+            )
+        for i, j in batch.gossips:
+            # same in-place add-then-halve as _gossip: bit-identical
+            si, sj = self.state[i], self.state[j]
+            np.add(si, sj, out=si)
+            si *= 0.5
+            sj[:] = si
+
+    def _run_batched(
+        self,
+        policy: AsyncPolicy,
+        total_events: int,
+        eval_every: int,
+        start_event: int,
+        history: AsyncHistory,
+        event_hook: "Callable[[AsyncGossipEngine, int, AsyncHistory], None] | None",
+    ) -> AsyncHistory:
+        """The ``vectorized=True`` event loop: plan one window per
+        evaluation boundary, execute its disjoint batches, evaluate,
+        fire the hook. ``start_event`` may be *any* serial event
+        boundary (a checkpoint from a serial run or a killed batched
+        run) — the boundaries are absolute in the event index, so the
+        first window after a mid-window resume is simply shorter."""
+        event = start_event
+        while event < total_events:
+            end = min((event // eval_every + 1) * eval_every, total_events)
+            plan = plan_window(self, policy, event, end)
+            for batch in plan.batches:
+                self._execute_batch(batch)
+            # window ends are exactly the serial loop's eval events
+            history.records.append(self._evaluate(plan.final_time, end))
+            if event_hook is not None:
+                event_hook(self, end, history)
+            event = end
+        return history
 
     def _evaluate(self, time: float, events: int) -> AsyncRecord:
         node_ids = None
@@ -526,8 +618,12 @@ class AsyncGossipEngine:
         boundary resumes exactly — the evaluation cadence is absolute in
         the event index and all randomness round-trips — so checkpoints
         need no alignment with evaluation events. ``event_hook(engine,
-        event, history)`` runs after every completed event; the sweep
-        orchestrator checkpoints from it.
+        event, history)`` runs after every completed event in serial
+        mode, and once per completed batch window (always an evaluation
+        boundary, with ``event`` the window's final event index) under
+        ``vectorized=True``; the sweep orchestrator checkpoints from
+        it. Either mode resumes a checkpoint the other wrote: the
+        trajectory is bit-identical and boundaries are absolute.
         """
         if activations_per_node <= 0:
             raise ValueError("activations_per_node must be positive")
@@ -554,6 +650,11 @@ class AsyncGossipEngine:
 
         if history is None:
             history = AsyncHistory(policy=policy.name, records=[])
+        if self.vectorized:
+            return self._run_batched(
+                policy, total_events, eval_every, start_event, history,
+                event_hook,
+            )
         for event in range(start_event + 1, total_events + 1):
             time, i = heapq.heappop(self._queue)
             t = int(time) + 1

@@ -36,7 +36,14 @@ checkpoint behind:
   boundary resumes bit-for-bit — no evaluation-alignment caveat.
   Failure models that hold their own rng (``IndependentCrashes``) are
   rejected at save time; stateless ones (``CrashWindow``,
-  ``NoFailures``) checkpoint fine.
+  ``NoFailures``) checkpoint fine. The vectorized async engine
+  (``vectorized=True``, disjoint event batching) shares this format
+  unchanged: batching only reorders state-matrix arithmetic inside a
+  window, never the captured streams or counters, so either mode
+  resumes a checkpoint the other wrote. A serial checkpoint taken at
+  an event boundary *inside* a batch window simply starts the resumed
+  vectorized run with a shorter first window (batched mode itself
+  checkpoints at evaluation boundaries, where its hook fires).
 """
 
 from __future__ import annotations

@@ -268,10 +268,7 @@ class SimulationEngine:
             [self.nodes[int(i)].sample_batch() for _ in range(self.config.local_steps)]
             for i in ids
         ]
-        block = self.state[ids]  # fancy index: a copy
-        losses = self._trainer.train_block(block, batch_lists)
-        self.state[ids] = block
-        return losses.tolist()
+        return self._trainer.train_rows(self.state, ids, batch_lists).tolist()
 
     def _mixing_for_round(self, t: int) -> sp.csr_matrix:
         """The round's mixing matrix: static, provided per round, or

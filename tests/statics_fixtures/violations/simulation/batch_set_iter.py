@@ -1,0 +1,24 @@
+"""Seeded violations: nondeterministic iteration over batch node sets.
+
+Models the bug class the disjoint-event-batching planner must avoid:
+executing a batch by iterating a *set* of touched nodes, whose order is
+hash-dependent — training/gossip application order would then vary
+across runs, breaking the serial-identity contract. The real planner
+(``repro.simulation.event_batch``) keeps ordered lists and an integer
+conflict ledger instead.
+"""
+
+
+def execute_batch(state, train_ids, gossips):
+    for i in set(train_ids):  # expect: det-set-iter
+        state[i] -= 0.1
+    for i in {n for pair in gossips for n in pair}:  # expect: det-set-iter
+        state[i] *= 0.5
+    return state
+
+
+def plan_conflicts(events):
+    batches = []
+    for i, j in {(e.node, e.partner) for e in events}:  # expect: det-set-iter
+        batches.append((i, j))
+    return batches

@@ -110,11 +110,25 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--kind", "quantum"])
 
-    def test_async_sweep_rejects_vectorized(self, capsys):
+    def test_async_sweep_accepts_vectorized(self, capsys):
         assert main(["sweep", "--kind", "async",
                      "--preset", "cifar10-bench-async", "--vectorized",
-                     "--dry-run"]) == 2
-        assert "vectorized" in capsys.readouterr().err
+                     "--dry-run"]) == 0
+        assert "pending" in capsys.readouterr().out
+
+    def test_async_run_vectorized_flag(self):
+        args = build_parser().parse_args(["async-run", "--vectorized"])
+        assert args.vectorized
+        assert not build_parser().parse_args(["async-run"]).vectorized
+
+    def test_jobs_auto_parses(self, capsys):
+        assert build_parser().parse_args(["sweep", "--jobs", "auto"]).jobs \
+            == "auto"
+        assert build_parser().parse_args(["sweep", "--jobs", "4"]).jobs == 4
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--jobs", "many"])
+        assert main(["sweep", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
 
     def test_sweep_kind_algorithm_mismatch_fails_fast(self, capsys):
         assert main(["sweep", "--kind", "async",

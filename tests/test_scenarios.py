@@ -306,10 +306,10 @@ class TestCompile:
         with pytest.raises(ValueError, match="dynamic topologies"):
             compile_run(spec)
 
-    def test_async_vectorized_rejected(self, scn_preset):
+    def test_async_vectorized_compiles(self, scn_preset):
         spec = tiny_scenario(algorithm=AlgorithmSpec(name="async-skiptrain"))
-        with pytest.raises(ValueError, match="vectorized"):
-            compile_run(spec, preset=scn_preset, vectorized=True)
+        compiled = compile_run(spec, preset=scn_preset, vectorized=True)
+        assert compiled.engine.vectorized
 
     def test_churn_with_allreduce_rejected(self):
         spec = tiny_scenario(

@@ -4,10 +4,12 @@ For a grid of small scenario specs (churn, failures, battery budgets,
 data skew — composed), this asserts the three contracts every scenario
 cell must keep whatever engine executes it:
 
-(a) sync serial ≡ sync vectorized, state bit-for-bit and history
-    record-for-record;
+(a) serial ≡ vectorized, state bit-for-bit and history
+    record-for-record — sync (batched rounds) *and* async (disjoint
+    event batching);
 (b) a mid-run checkpoint kill + resume produces byte-identical
-    artifacts for sync *and* async scenario cells;
+    artifacts for sync *and* async scenario cells, in either engine
+    flavor, including a serial checkpoint resumed mid-batch-window;
 (c) dead (failure-window) and departed (churn) nodes are never
     selected as gossip partners in either engine.
 """
@@ -73,6 +75,10 @@ ASYNC_GRID = [
           algorithm=AlgorithmSpec(name="async-skiptrain")),
     _spec("a-churn-fail", churn=CHURN, failures=FAILURES,
           algorithm=AlgorithmSpec(name="async-d-psgd")),
+    _spec("a-fail-skew-constrained", failures=FAILURES,
+          data=DataSpec(partition="dirichlet", alpha=0.5),
+          energy=EnergySpec(enforce_budgets=True),
+          algorithm=AlgorithmSpec(name="async-skiptrain-constrained")),
 ]
 
 _ids = lambda specs: [s.name for s in specs]
@@ -90,6 +96,23 @@ class TestSerialVectorizedEquivalence:
         h_vector = vector.execute()
         np.testing.assert_array_equal(serial.engine.state,
                                       vector.engine.state)
+        assert repr(h_serial.history.records) == repr(h_vector.history.records)
+
+    @pytest.mark.parametrize("spec", ASYNC_GRID, ids=_ids(ASYNC_GRID))
+    def test_async_state_and_history_bit_identical(self, grid_preset, spec):
+        """Disjoint event batching is bit-compatible with the serial
+        event loop under every async composition — churn, failure
+        windows, battery budgets, data skew, all three policies."""
+        serial = compile_run(spec, preset=grid_preset, vectorized=False)
+        vector = compile_run(spec, preset=grid_preset, vectorized=True)
+        h_serial = serial.execute()
+        h_vector = vector.execute()
+        np.testing.assert_array_equal(serial.engine.state,
+                                      vector.engine.state)
+        np.testing.assert_array_equal(serial.engine.train_counts,
+                                      vector.engine.train_counts)
+        assert (serial.engine.train_energy_wh
+                == vector.engine.train_energy_wh)
         assert repr(h_serial.history.records) == repr(h_vector.history.records)
 
 
@@ -154,6 +177,69 @@ class TestKillResumeByteIdentity:
         assert not checkpoint_path(killed, cell).exists()
         assert (artifact_path(killed, cell).read_bytes()
                 == artifact_path(ref, cell).read_bytes())
+
+    @pytest.mark.parametrize("spec", ASYNC_GRID, ids=_ids(ASYNC_GRID))
+    def test_async_vectorized_cell(self, grid_preset, spec, tmp_path):
+        """Vectorized async flavor: the hook fires at batch-window ends
+        (evaluation boundaries), so the killer targets one; the kill
+        leaves a checkpoint behind and the resume is byte-identical."""
+        cell = self._cell(spec, grid_preset)
+        lookup = lambda name: spec
+        ref, killed = tmp_path / "ref", tmp_path / "killed"
+        run_cell(grid_preset, cell, ref, checkpoint_every=2,
+                 vectorized=True, scenario_lookup=lookup)
+
+        def killer(engine, event, history, last):
+            if event == 48:  # a window end, past >=1 checkpoint
+                raise self.Kill
+
+        with pytest.raises(self.Kill):
+            run_cell(grid_preset, cell, killed, checkpoint_every=2,
+                     round_hook=killer, vectorized=True,
+                     scenario_lookup=lookup)
+        assert checkpoint_path(killed, cell).is_file()
+        assert not artifact_path(killed, cell).exists()
+        _, resumed = run_cell(grid_preset, cell, killed, checkpoint_every=2,
+                              vectorized=True, scenario_lookup=lookup)
+        assert resumed
+        assert not checkpoint_path(killed, cell).exists()
+        assert (artifact_path(killed, cell).read_bytes()
+                == artifact_path(ref, cell).read_bytes())
+
+    def test_async_serial_checkpoint_resumes_inside_batch_window(
+        self, grid_preset, tmp_path
+    ):
+        """The mid-batch-window contract, end to end: a *serial* run
+        checkpoints at event 24 — inside the vectorized engine's
+        [16, 32) batch window — gets killed at 30, and resumes on the
+        *vectorized* engine to the same results as both uninterrupted
+        flavors (only the provenance flag differs from the serial
+        ref)."""
+        import json
+
+        spec = ASYNC_GRID[1]
+        cell = self._cell(spec, grid_preset)
+        lookup = lambda name: spec
+        ref, killed = tmp_path / "ref", tmp_path / "killed"
+        run_cell(grid_preset, cell, ref, scenario_lookup=lookup)
+
+        def killer(engine, event, history, last):
+            if event == 30:  # past the off-boundary checkpoint at 24
+                raise self.Kill
+
+        with pytest.raises(self.Kill):
+            run_cell(grid_preset, cell, killed, checkpoint_every=3,
+                     round_hook=killer, scenario_lookup=lookup)
+        assert checkpoint_path(killed, cell).is_file()
+        _, resumed = run_cell(grid_preset, cell, killed, checkpoint_every=3,
+                              vectorized=True, scenario_lookup=lookup)
+        assert resumed
+        a = json.loads(artifact_path(ref, cell).read_text())
+        b = json.loads(artifact_path(killed, cell).read_text())
+        assert a["engine"] == {"events": 96, "vectorized": False}
+        assert b["engine"] == {"events": 96, "vectorized": True}
+        assert a["results"] == b["results"]
+        assert a["history"] == b["history"]
 
     def test_sync_vectorized_resume_matches_serial_artifact(
         self, grid_preset, tmp_path
@@ -268,7 +354,9 @@ class TestPartnerExclusion:
             np.testing.assert_allclose(w.sum(axis=0), 1.0)
             np.testing.assert_allclose(w.sum(axis=1), 1.0)
 
-    @pytest.mark.parametrize("spec", ASYNC_GRID, ids=_ids(ASYNC_GRID))
+    # churn-bearing specs only: the spy reconstructs the round from
+    # engine._churn_round, which a churn-free spec never advances
+    @pytest.mark.parametrize("spec", ASYNC_GRID[:2], ids=_ids(ASYNC_GRID[:2]))
     def test_async_partner_never_ineligible(self, grid_preset, spec):
         """Spy on every pairwise gossip: the chosen partner must be
         eligible under the engine's mask, and that mask must match the
@@ -297,7 +385,7 @@ class TestPartnerExclusion:
                 if j is not None:
                     assert eligible[j]
 
-    @pytest.mark.parametrize("spec", ASYNC_GRID, ids=_ids(ASYNC_GRID))
+    @pytest.mark.parametrize("spec", ASYNC_GRID[:2], ids=_ids(ASYNC_GRID[:2]))
     def test_async_ineligible_rows_untouched(self, grid_preset, spec):
         """Complementary behavioral check: while a node is dead or
         departed its state row never changes — proving it neither

@@ -28,7 +28,7 @@ SPEC = SyntheticSpec(num_classes=4, channels=1, image_size=4,
 
 def make_engine(seed=0, with_trace=True, n=N, eval_node_sample=None,
                 failure_model=None, enforce_budgets=False, degree=3,
-                battery_fraction=0.1):
+                battery_fraction=0.1, vectorized=False):
     rngs = RngFactory(seed)
     train, protos = make_classification_images(SPEC, 50 * n,
                                                rngs.stream("data"))
@@ -46,6 +46,7 @@ def make_engine(seed=0, with_trace=True, n=N, eval_node_sample=None,
         trace=trace, eval_node_sample=eval_node_sample,
         eval_rng=rngs.stream("async-eval"),
         failure_model=failure_model, enforce_budgets=enforce_budgets,
+        vectorized=vectorized,
     )
 
 
@@ -350,3 +351,128 @@ class TestAsyncStateDict:
             eng.run(AsyncDPSGD(), activations_per_node=2, start_event=99)
         with pytest.raises(ValueError, match="restored"):
             eng.run(AsyncDPSGD(), activations_per_node=2, start_event=1)
+
+
+def _policies():
+    """One instance of each async policy (fresh per call — the
+    constrained policy is stateful)."""
+    budgets = np.array([2, 3, 100, 0, 2, 3, 100, 0])
+    return {
+        "async-d-psgd": lambda: AsyncDPSGD(),
+        "async-skiptrain": lambda: AsyncSkipTrain(RoundSchedule(2, 2)),
+        "async-skiptrain-constrained": lambda: AsyncSkipTrainConstrained(
+            RoundSchedule(1, 1), budgets, expected_activations=24,
+            rng=np.random.default_rng(7),
+        ),
+    }
+
+
+class TestVectorizedEventBatching:
+    """``vectorized=True``: disjoint event batching through the stacked
+    kernels must leave the whole trajectory — state matrix, counters,
+    energy, every rng stream, history records — bit-identical to the
+    serial event loop."""
+
+    def _assert_trajectories_equal(self, serial_eng, batched_eng,
+                                   serial_hist, batched_hist):
+        np.testing.assert_array_equal(serial_eng.state, batched_eng.state)
+        np.testing.assert_array_equal(serial_eng.activation_counts,
+                                      batched_eng.activation_counts)
+        np.testing.assert_array_equal(serial_eng.train_counts,
+                                      batched_eng.train_counts)
+        assert serial_eng.train_energy_wh == batched_eng.train_energy_wh
+        assert serial_eng._queue == batched_eng._queue
+        # next draws agree -> the event rng streams ended identically
+        assert (serial_eng.rng.random() == batched_eng.rng.random())
+        assert repr(serial_hist.records) == repr(batched_hist.records)
+
+    @pytest.mark.parametrize("name", sorted(_policies()))
+    def test_bit_identical_per_policy(self, name):
+        make = _policies()[name]
+        serial = make_engine(seed=3)
+        batched = make_engine(seed=3, vectorized=True)
+        h_s = serial.run(make(), activations_per_node=6, eval_every=16)
+        h_b = batched.run(make(), activations_per_node=6, eval_every=16)
+        self._assert_trajectories_equal(serial, batched, h_s, h_b)
+
+    def test_bit_identical_under_failures_and_budgets(self):
+        window = CrashWindow(N, [1, 5], 1.0, 3.0)
+        kw = dict(seed=4, failure_model=window, enforce_budgets=True,
+                  battery_fraction=0.05)
+        serial = make_engine(**kw)
+        batched = make_engine(vectorized=True, **kw)
+        h_s = serial.run(AsyncDPSGD(), activations_per_node=8, eval_every=16)
+        h_b = batched.run(AsyncDPSGD(), activations_per_node=8, eval_every=16)
+        self._assert_trajectories_equal(serial, batched, h_s, h_b)
+
+    def test_batches_are_disjoint_and_actually_batch(self):
+        """Structural check on the plans the engine executes: within
+        each batch every (activator, partner) node set is pairwise
+        disjoint, and at least one batch stacks multiple trainings
+        (otherwise the mode silently degenerated to serial)."""
+        eng = make_engine(seed=0, vectorized=True)
+        executed = []
+        orig = AsyncGossipEngine._execute_batch
+
+        def spy(self, batch):
+            executed.append(batch)
+            return orig(self, batch)
+
+        eng._execute_batch = types.MethodType(spy, eng)
+        eng.run(AsyncDPSGD(), activations_per_node=8, eval_every=16)
+        assert executed
+        for batch in executed:
+            # an event that trains AND gossips lists its activator in
+            # both train_ids and gossips — fold it to one touched set
+            # per event, then require those sets pairwise disjoint
+            gossip_activators = {i for i, _ in batch.gossips}
+            touched = [n for pair in batch.gossips for n in pair]
+            touched += [i for i in batch.train_ids
+                        if i not in gossip_activators]
+            assert len(touched) == len(set(touched)), batch
+            assert len(batch.train_ids) == len(set(batch.train_ids)), batch
+        assert any(len(b.train_ids) > 1 for b in executed)
+
+    def test_hook_fires_once_per_window(self):
+        events = []
+        eng = make_engine(seed=0, vectorized=True)
+        eng.run(AsyncDPSGD(), activations_per_node=6, eval_every=16,
+                event_hook=lambda e, ev, h: events.append(ev))
+        assert events == [16, 32, 48]
+
+    def test_resume_inside_batch_window_crosses_engine_flavors(self):
+        """A serial checkpoint taken at an event boundary *inside* a
+        batch window resumes bit-identically on the vectorized engine:
+        its first window is simply shorter (event 21 -> boundary 32)."""
+
+        class Stop(Exception):
+            pass
+
+        total, eval_every = 48, 16
+        ref = make_engine(seed=6, vectorized=True)
+        h_ref = ref.run(AsyncDPSGD(), activations_per_node=total // N,
+                        eval_every=eval_every)
+
+        donor = make_engine(seed=6)  # serial
+        captured = {}
+
+        def stopper(engine, event, history):
+            if event == 21:  # mid-window, off the eval cadence
+                captured["history"] = history
+                raise Stop
+
+        with pytest.raises(Stop):
+            donor.run(AsyncDPSGD(), activations_per_node=total // N,
+                      eval_every=eval_every, event_hook=stopper)
+        sd = donor.state_dict()
+
+        resumed = make_engine(seed=6, vectorized=True)
+        resumed.load_state_dict(sd)
+        h_res = resumed.run(AsyncDPSGD(), activations_per_node=total // N,
+                            eval_every=eval_every, start_event=21,
+                            history=captured["history"])
+        self._assert_trajectories_equal(ref, resumed, h_ref, h_res)
+
+    def test_trainer_built_eagerly(self):
+        assert make_engine(vectorized=True)._trainer is not None
+        assert make_engine()._trainer is None

@@ -226,6 +226,46 @@ class TestSweepExecution:
         with pytest.raises(ValueError, match="jobs"):
             run_sweep(plan, tmp_path, jobs=0,
                       preset_lookup=lookup_for(micro_preset))
+        with pytest.raises(ValueError, match="auto"):
+            run_sweep(plan, tmp_path, jobs="many",
+                      preset_lookup=lookup_for(micro_preset))
+
+    def test_jobs_auto_resolves_cpu_count(self, micro_preset, tmp_path,
+                                          monkeypatch):
+        """``jobs="auto"`` resolves via os.cpu_count() and records the
+        resolved value; a single-CPU box falls back to a serial run."""
+        import repro.experiments.sweep as sweep_mod
+
+        plan = build_plan(micro_preset, ("skiptrain",), seeds=(0, 1))
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 1)
+        stats = run_sweep(plan, tmp_path / "serial", jobs="auto",
+                          preset_lookup=lookup_for(micro_preset))
+        assert stats.jobs_resolved == 1
+        assert len(stats.ran) == 2
+        assert not stats.prepped  # serial path: no pool, no shared mem
+
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 2)
+        stats = run_sweep(plan, tmp_path / "pooled", jobs="auto",
+                          preset_lookup=lookup_for(micro_preset))
+        assert stats.jobs_resolved == 2
+        assert len(stats.ran) == 2
+        for cell in plan:
+            assert (artifact_path(tmp_path / "serial", cell).read_bytes()
+                    == artifact_path(tmp_path / "pooled", cell).read_bytes())
+
+    def test_jobs_auto_without_fork_falls_back_to_serial(
+        self, micro_preset, tmp_path, monkeypatch
+    ):
+        import repro.experiments.sweep as sweep_mod
+
+        plan = build_plan(micro_preset, ("skiptrain",), seeds=(0,))
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(sweep_mod.mp, "get_all_start_methods",
+                            lambda: ["spawn"])
+        stats = run_sweep(plan, tmp_path, jobs="auto",
+                          preset_lookup=lookup_for(micro_preset))
+        assert stats.jobs_resolved == 1
+        assert len(stats.ran) == 1
 
     def test_vectorized_cell_results_match_serial(
         self, micro_preset, tmp_path
@@ -418,6 +458,9 @@ class TestAsyncOrchestration:
         }
         assert 0.0 <= payload["results"]["final_accuracy"] <= 1.0
         assert payload["results"]["total_comm_wh"] == 0.0
+        assert payload["engine"] == {
+            "events": 12 * micro_async.n_nodes, "vectorized": False,
+        }
 
     def test_async_cells_aggregate_alongside_sync(
         self, micro_preset, micro_async, tmp_path
@@ -461,11 +504,24 @@ class TestAsyncOrchestration:
         assert a["results"] == b["results"]
         assert len(b["history"]["records"]) > len(a["history"]["records"])
 
-    def test_async_rejects_vectorized(self, micro_async, tmp_path):
+    def test_async_vectorized_cell_results_match_serial(
+        self, micro_async, tmp_path
+    ):
+        """The async analogue of the sync bit-compatibility test: a
+        vectorized (disjoint-event-batched) async cell's artifact is
+        identical to the serial one up to the engine provenance flag."""
         cell = build_plan(micro_async, ("async-skiptrain",), seeds=(0,),
                           kind="async")[0]
-        with pytest.raises(ValueError, match="vectorized"):
-            run_cell(micro_async, cell, tmp_path, vectorized=True)
+        serial, vector = tmp_path / "serial", tmp_path / "vector"
+        run_cell(micro_async, cell, serial, vectorized=False)
+        run_cell(micro_async, cell, vector, vectorized=True)
+        a = load_cell_artifact(artifact_path(serial, cell))
+        b = load_cell_artifact(artifact_path(vector, cell))
+        assert a["engine"]["vectorized"] is False
+        assert b["engine"]["vectorized"] is True
+        assert a["engine"]["events"] == b["engine"]["events"]
+        a.pop("engine"), b.pop("engine")
+        assert a == b  # bit-compatibility: every result field identical
 
     def test_result_from_artifact_guards_async_schema(
         self, micro_async, tmp_path
