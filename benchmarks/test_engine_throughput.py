@@ -414,6 +414,59 @@ def test_async_events_batched_speedup_at_64_nodes():
     )
 
 
+# -- fleet-scale cells: the node axis at 1024-16384 nodes (tracked) -----------
+
+#: A single dense float64 n×n intermediate at n=16384 is ~2147 MiB, so
+#: staying under this cap proves the whole path is O(E + n·dim).
+FLEET_RSS_CAP_MIB = 2048.0
+
+
+def _measure_fleet_cell(n_nodes: int):
+    """(seconds, rounds) for one full fleet-preset sync cell — sparse
+    NeighborList topology, vectorized trainer, auto state backend."""
+    from repro.experiments.presets import fleet_preset
+    from repro.experiments.runner import build_run, prepare
+
+    preset = fleet_preset(n_nodes)
+    prepared = prepare(preset, preset.degrees[0], seed=0)
+    engine, algo = build_run(prepared, "skiptrain",
+                             total_rounds=preset.total_rounds,
+                             vectorized=True, state_backend="auto")
+    try:
+        t0 = time.perf_counter()
+        engine.run(algo)
+        elapsed = time.perf_counter() - t0
+    finally:
+        engine.close()
+    return elapsed, preset.total_rounds
+
+
+@pytest.mark.parametrize("n_nodes", [1024, 4096, 16384])
+def test_train_rounds_fleet(n_nodes):
+    """The tracked fleet baseline and memory gate: a whole n=1024/4096/
+    16384 sync cell must complete under quick CI settings with peak RSS
+    an order of magnitude below the dense-n×n footprint. Recorded as
+    ``train_rounds_n{1024,4096,16384}`` — the scale trajectory the
+    ROADMAP's 10k-1M fleet item regresses against."""
+    from .conftest import peak_rss_mib
+
+    elapsed, rounds = _measure_fleet_cell(n_nodes)
+    record_bench(f"train_rounds_n{n_nodes}", {
+        "n_nodes": n_nodes,
+        "rounds": rounds,
+        "vectorized": True,
+        "state_backend": "auto",
+        "cell_s": round(elapsed, 4),
+        "rounds_per_s": round(rounds / elapsed, 3),
+    })
+    rss = peak_rss_mib()
+    assert rss < FLEET_RSS_CAP_MIB, (
+        f"fleet cell at n={n_nodes} peaked at {rss:.0f} MiB — at or "
+        f"above the {FLEET_RSS_CAP_MIB:.0f} MiB cap that rules out "
+        f"dense n×n intermediates"
+    )
+
+
 # -- sweep cell parallelism: --jobs 1 vs --jobs 4 (tracked baseline) ----------
 
 

@@ -33,8 +33,10 @@ __all__ = [
     "femnist_bench",
     "cifar10_paper",
     "femnist_paper",
+    "fleet_preset",
     "async_variant",
     "ASYNC_PRESETS",
+    "FLEET_SIZES",
     "PRESETS",
     "get_preset",
 ]
@@ -186,6 +188,52 @@ def femnist_paper() -> ExperimentPreset:
     )
 
 
+def _fleet_mlp(rng: np.random.Generator) -> Module:
+    return small_mlp(16, 4, hidden=8, rng=rng)
+
+
+#: Node counts of the fleet preset family (``n{size}-fleet``).
+FLEET_SIZES: tuple[int, ...] = (1024, 4096, 16384)
+
+
+def fleet_preset(n_nodes: int) -> ExperimentPreset:
+    """Fleet-scale smoke preset: the *node axis* at 1024–16384 nodes
+    with everything else shrunk to the minimum that still exercises the
+    full pipeline (4-regular topology, 2-shard label skew, a 172-param
+    MLP on 4×4 images, 8 samples per node). The point is not learning
+    quality but the memory/throughput envelope: with the sparse
+    ``NeighborList`` representation and CSR mixing, a cell's footprint
+    is O(E + n·dim) — at n=16384 the state matrix is ~22 MiB where a
+    single dense n×n intermediate would be 2 GiB. Registered in the
+    preset zoo (and therefore as scenarios, so churn/failure axes
+    compose); benchmarked by ``train_rounds_n{1024,4096,16384}`` in
+    BENCH_throughput.json with peak-RSS gating."""
+    if n_nodes < 2:
+        raise ValueError("fleet presets need at least 2 nodes")
+    return ExperimentPreset(
+        name=f"n{n_nodes}-fleet",
+        n_nodes=n_nodes,
+        degrees=(4,),
+        spec=SyntheticSpec(
+            num_classes=4, channels=1, image_size=4,
+            noise_std=1.5, jitter_std=0.4, prototype_resolution=2,
+        ),
+        num_train=8 * n_nodes,
+        num_test=256,
+        partition="shard",
+        model_factory=_fleet_mlp,
+        learning_rate=0.2,
+        batch_size=4,
+        local_steps=1,
+        total_rounds=8,
+        eval_every=4,
+        eval_node_sample=64,
+        workload=CIFAR10_WORKLOAD,
+        battery_fraction=0.012,
+        tuned_schedules={4: (2, 2)},
+    )
+
+
 def async_variant(base: ExperimentPreset) -> ExperimentPreset:
     """The asynchronous twin of a synchronous preset: same data,
     partition, model, topology densities, and energy trace, renamed
@@ -206,6 +254,10 @@ PRESETS: dict[str, Callable[[], ExperimentPreset]] = {
     "femnist-bench-async": lambda: async_variant(femnist_bench()),
     "cifar10-paper-async": lambda: async_variant(cifar10_paper()),
     "femnist-paper-async": lambda: async_variant(femnist_paper()),
+    **{
+        f"n{size}-fleet": (lambda size=size: fleet_preset(size))
+        for size in FLEET_SIZES
+    },
 }
 
 #: Preset names whose cells run on the asynchronous gossip engine.

@@ -235,11 +235,11 @@ def prepared_from_data(
     ``(data, degree)``, so pool workers re-derive it per cell from the
     shared-memory datasets instead of shipping sparse matrices around.
     """
-    from ..topology.graphs import regular_graph
     from ..topology.mixing import metropolis_hastings_weights
+    from ..topology.sparse import regular_neighbors
 
     preset = data.preset
-    graph = regular_graph(preset.n_nodes, degree, seed=data.seed)
+    graph = regular_neighbors(preset.n_nodes, degree, seed=data.seed)
     mixing = metropolis_hastings_weights(graph)
     trace = build_trace(
         preset.n_nodes, preset.workload, preset.battery_fraction, degree=degree
@@ -337,6 +337,7 @@ def build_run(
     mixing=None,
     failure_model: "FailureModel | None" = None,
     churn=None,
+    state_backend: str = "memory",
 ) -> tuple[SimulationEngine, Algorithm]:
     """Wire the (engine, algorithm) pair for one cell without running.
 
@@ -368,6 +369,7 @@ def build_run(
         eval_node_sample=preset.eval_node_sample,
         vectorized=vectorized,
         eval_mode=eval_mode,
+        state_backend=state_backend,
     )
     model, nodes = _wire_model_nodes(prepared, rngs)
     meter = EnergyMeter(prepared.trace)
@@ -481,6 +483,7 @@ def build_async_run(
     enforce_budgets: bool = False,
     churn=None,
     vectorized: bool = False,
+    state_backend: str = "memory",
 ) -> tuple[AsyncGossipEngine, AsyncPolicy]:
     """Wire the (engine, policy) pair for one async cell without
     running it.
@@ -497,7 +500,8 @@ def build_async_run(
     the serial event loop (see
     :mod:`repro.simulation.event_batch`).
     """
-    from ..topology.graphs import neighbor_lists, regular_graph
+    from ..topology.graphs import neighbor_lists
+    from ..topology.sparse import regular_neighbors
 
     if eval_on not in ("test", "validation"):
         raise ValueError('eval_on must be "test" or "validation"')
@@ -510,7 +514,8 @@ def build_async_run(
     )
     if activations <= 0:
         raise ValueError("activations_per_node must be positive")
-    graph = regular_graph(preset.n_nodes, prepared.degree, seed=prepared.seed)
+    graph = regular_neighbors(preset.n_nodes, prepared.degree,
+                              seed=prepared.seed)
     model, nodes = _wire_model_nodes(prepared, rngs)
     engine = AsyncGossipEngine(
         model,
@@ -528,6 +533,7 @@ def build_async_run(
         enforce_budgets=enforce_budgets,
         churn=churn,
         vectorized=vectorized,
+        state_backend=state_backend,
     )
     if isinstance(algorithm, str):
         policy = _make_async_policy(

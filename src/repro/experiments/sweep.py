@@ -212,6 +212,8 @@ def run_cell(
     prepared=None,
     checkpoint_every: int = 0,
     vectorized: bool = False,
+    node_shards: int = 1,
+    state_backend: str = "memory",
     round_hook: Callable | None = None,
     scenario_lookup: Callable | None = None,
 ) -> "tuple[ExperimentResult | AsyncExperimentResult, bool]":
@@ -241,6 +243,14 @@ def run_cell(
     overrides the registry lookup (tests inject specs the registry
     does not know).
 
+    ``node_shards > 1`` shards the cell's *node axis* across fork
+    workers (synchronous cells only — the async engine trains one node
+    per event, so there is no node loop to shard); artifacts and
+    checkpoints stay byte-identical to an unsharded run. The
+    ``state_backend`` selects where the ``(n, dim)`` state matrix lives
+    (see :mod:`repro.simulation.state_store`) and likewise never
+    changes any bit of the output.
+
     Returns ``(result, resumed_from_checkpoint)``.
     """
     if preset.name != cell.preset:
@@ -248,10 +258,19 @@ def run_cell(
             f"cell {cell.cell_id} belongs to preset {cell.preset!r}, "
             f"got {preset.name!r}"
         )
+    if node_shards < 1:
+        raise ValueError("node_shards must be >= 1")
+    if node_shards > 1 and cell.kind == "async":
+        raise ValueError(
+            f"cell {cell.cell_id} is async: node sharding applies to "
+            f"synchronous cells only (the event loop trains one node at "
+            f"a time)"
+        )
     if cell.scenario:
         return _run_scenario_cell(
             preset, cell, results_dir, prepared=prepared,
             checkpoint_every=checkpoint_every, vectorized=vectorized,
+            node_shards=node_shards, state_backend=state_backend,
             round_hook=round_hook, scenario_lookup=scenario_lookup,
         )
     if prepared is None:
@@ -259,7 +278,7 @@ def run_cell(
     if cell.kind == "async":
         engine, policy = build_async_run(
             prepared, cell.algorithm, activations_per_node=cell.total_rounds,
-            vectorized=vectorized,
+            vectorized=vectorized, state_backend=state_backend,
         )
         return _execute_async_cell(
             engine, policy, cell, results_dir, prepared.trace,
@@ -272,11 +291,12 @@ def run_cell(
         cell.algorithm,
         total_rounds=cell.total_rounds,
         vectorized=vectorized,
+        state_backend=state_backend,
     )
     return _execute_sync_cell(
         engine, algo, cell, results_dir, prepared.trace,
         checkpoint_every=checkpoint_every, vectorized=vectorized,
-        round_hook=round_hook,
+        node_shards=node_shards, round_hook=round_hook,
     )
 
 
@@ -288,6 +308,8 @@ def _run_scenario_cell(
     prepared=None,
     checkpoint_every: int,
     vectorized: bool,
+    node_shards: int = 1,
+    state_backend: str = "memory",
     round_hook: Callable | None,
     scenario_lookup: Callable | None,
 ) -> "tuple[ExperimentResult | AsyncExperimentResult, bool]":
@@ -331,6 +353,7 @@ def _run_scenario_cell(
         preset=preset,
         prepared=prepared,
         vectorized=vectorized,
+        state_backend=state_backend,
     )
     if compiled.prepared.degree != cell.degree:
         raise ValueError(
@@ -349,7 +372,8 @@ def _run_scenario_cell(
     return _execute_sync_cell(
         compiled.engine, compiled.algorithm, cell, results_dir,
         compiled.prepared.trace, checkpoint_every=checkpoint_every,
-        vectorized=vectorized, round_hook=round_hook,
+        vectorized=vectorized, node_shards=node_shards,
+        round_hook=round_hook,
     )
 
 
@@ -362,11 +386,16 @@ def _execute_sync_cell(
     *,
     checkpoint_every: int,
     vectorized: bool,
+    node_shards: int = 1,
     round_hook: Callable | None,
 ) -> tuple[ExperimentResult, bool]:
     """Run a wired sync engine through the checkpointed cell protocol:
     restore any mid-run checkpoint, run with periodic checkpointing at
-    evaluation rounds, write the artifact, drop the checkpoint."""
+    evaluation rounds, write the artifact, drop the checkpoint. With
+    ``node_shards > 1`` a :class:`~repro.simulation.node_shard.
+    NodeShardPool` fans the local-training stage out for the duration
+    of the run; the engine (and its state backing, mmap or not) is
+    always released on the way out, success or crash."""
     ckpt = checkpoint_path(results_dir, cell)
     start_round, history = 0, None
     resumed = ckpt.is_file()
@@ -388,13 +417,26 @@ def _execute_sync_cell(
         if round_hook is not None:
             round_hook(eng, t, hist, last_eval)
 
-    history = engine.run(
-        algo, start_round=start_round, history=history, round_hook=hook
-    )
-    assert engine.meter is not None
-    result = ExperimentResult(history=history, meter=engine.meter, trace=trace)
-    write_cell_artifact(results_dir, cell, result, vectorized=vectorized)
-    ckpt.unlink(missing_ok=True)
+    sharder = None
+    try:
+        if node_shards > 1:
+            from ..simulation.node_shard import NodeShardPool
+
+            sharder = NodeShardPool(engine, node_shards)
+            engine.set_node_sharder(sharder)
+        history = engine.run(
+            algo, start_round=start_round, history=history, round_hook=hook
+        )
+        assert engine.meter is not None
+        result = ExperimentResult(history=history, meter=engine.meter,
+                                  trace=trace)
+        write_cell_artifact(results_dir, cell, result, vectorized=vectorized)
+        ckpt.unlink(missing_ok=True)
+    finally:
+        if sharder is not None:
+            engine.set_node_sharder(None)
+            sharder.close()
+        engine.close()
     return result, resumed
 
 
@@ -438,22 +480,25 @@ def _execute_async_cell(
         if round_hook is not None:
             round_hook(eng, event, hist, event)
 
-    history = engine.run(
-        policy,
-        activations_per_node=cell.total_rounds,
-        eval_every=async_eval_cadence(eval_every_rounds, n),
-        start_event=start_event,
-        history=history,
-        event_hook=hook,
-    )
-    result = AsyncExperimentResult(
-        history=history,
-        train_energy_wh=engine.train_energy_wh,
-        trace=trace,
-    )
-    write_async_cell_artifact(results_dir, cell, result,
-                              vectorized=vectorized)
-    ckpt.unlink(missing_ok=True)
+    try:
+        history = engine.run(
+            policy,
+            activations_per_node=cell.total_rounds,
+            eval_every=async_eval_cadence(eval_every_rounds, n),
+            start_event=start_event,
+            history=history,
+            event_hook=hook,
+        )
+        result = AsyncExperimentResult(
+            history=history,
+            train_energy_wh=engine.train_energy_wh,
+            trace=trace,
+        )
+        write_async_cell_artifact(results_dir, cell, result,
+                                  vectorized=vectorized)
+        ckpt.unlink(missing_ok=True)
+    finally:
+        engine.close()
     return result, resumed
 
 
@@ -484,6 +529,7 @@ def _run_cell_group(group_index: int) -> list[tuple[PlanCell, bool]]:
             prepared=prepared,
             checkpoint_every=ctx["checkpoint_every"],
             vectorized=ctx["vectorized"],
+            state_backend=ctx["state_backend"],
             round_hook=ctx["round_hook"],
             scenario_lookup=ctx["scenario_lookup"],
         )
@@ -498,6 +544,8 @@ def run_sweep(
     shard: tuple[int, int] = (1, 1),
     checkpoint_every: int = 0,
     vectorized: bool = False,
+    node_shards: int = 1,
+    state_backend: str = "memory",
     jobs: int | str = 1,
     pool: str = "persistent",
     preset_lookup: Callable[[str], ExperimentPreset] = get_preset,
@@ -542,7 +590,16 @@ def run_sweep(
     falling back to a serial run on a single-CPU box (or when the fork
     start method is unavailable); the resolved value is recorded in
     ``SweepRunStats.jobs_resolved``.
+
+    ``node_shards > 1`` parallelizes *within* each synchronous cell
+    instead of across cells (fleet-scale presets have few, huge cells);
+    it requires ``jobs=1`` — the two pool layers do not nest.
+    ``state_backend`` selects the state-matrix backing for every cell
+    (see :mod:`repro.simulation.state_store`); neither knob changes a
+    byte of any artifact.
     """
+    if node_shards < 1:
+        raise ValueError("node_shards must be >= 1")
     if jobs == "auto":
         jobs = os.cpu_count() or 1
         if jobs > 1 and "fork" not in mp.get_all_start_methods():
@@ -561,6 +618,11 @@ def run_sweep(
             "this platform); use jobs=1 and split work across machines "
             "with shard=I/N instead"
         )
+    if node_shards > 1 and jobs > 1:
+        raise ValueError(
+            "node_shards > 1 requires jobs=1: node sharding parallelizes "
+            "within cells and does not nest inside the cell-level pool"
+        )
     index, count = shard
     selected = sorted(
         shard_cells(cells, index, count),
@@ -575,7 +637,8 @@ def run_sweep(
         return backend(
             selected, results_dir, stats, say,
             checkpoint_every=checkpoint_every, vectorized=vectorized,
-            jobs=jobs, preset_lookup=preset_lookup, round_hook=round_hook,
+            state_backend=state_backend, jobs=jobs,
+            preset_lookup=preset_lookup, round_hook=round_hook,
             scenario_lookup=scenario_lookup,
         )
     prep_key, prep_val = None, None
@@ -603,6 +666,8 @@ def run_sweep(
             prepared=prep,
             checkpoint_every=checkpoint_every,
             vectorized=vectorized,
+            node_shards=node_shards,
+            state_backend=state_backend,
             round_hook=round_hook,
             scenario_lookup=scenario_lookup,
         )
@@ -621,6 +686,7 @@ def _run_sweep_jobs(
     *,
     checkpoint_every: int,
     vectorized: bool,
+    state_backend: str = "memory",
     jobs: int,
     preset_lookup: Callable[[str], ExperimentPreset],
     round_hook: Callable | None,
@@ -651,6 +717,7 @@ def _run_sweep_jobs(
         "results_dir": results_dir,
         "checkpoint_every": checkpoint_every,
         "vectorized": vectorized,
+        "state_backend": state_backend,
         "preset_lookup": preset_lookup,
         "round_hook": round_hook,
         "scenario_lookup": scenario_lookup,
@@ -682,6 +749,7 @@ def _run_sweep_persistent(
     *,
     checkpoint_every: int,
     vectorized: bool,
+    state_backend: str = "memory",
     jobs: int,
     preset_lookup: Callable[[str], ExperimentPreset],
     round_hook: Callable | None,
@@ -741,6 +809,7 @@ def _run_sweep_persistent(
             prepared=prepared,
             checkpoint_every=checkpoint_every,
             vectorized=vectorized,
+            state_backend=state_backend,
             round_hook=round_hook,
             scenario_lookup=scenario_lookup,
         )

@@ -61,7 +61,7 @@ from ..topology.dynamic import (
     RandomRegularEachRound,
     RegularGraphEachRound,
 )
-from ..topology.graphs import regular_graph
+from ..topology.sparse import regular_neighbors
 from .churn import ChurnSchedule
 from .spec import ScenarioSpec
 
@@ -70,6 +70,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     import scipy.sparse as sp
 
     from ..experiments.artifacts import PlanCell
+    from ..topology.sparse import NeighborList
 
     class DynamicGraph(Protocol):
         """A ``t -> Graph`` generator that knows its node count
@@ -149,7 +150,7 @@ def scenario_base(
 
 
 def scenario_mixing_provider(
-    graph: nx.Graph | DynamicGraph,
+    graph: "nx.Graph | NeighborList | DynamicGraph",
     churn: ChurnSchedule | None = None,
     failure_model: FailureModel | None = None,
     cache_size: int = 64,
@@ -157,7 +158,8 @@ def scenario_mixing_provider(
     """Per-round mixing provider over the eligible (member ∧ alive)
     subgraph of ``graph``.
 
-    ``graph`` is either a fixed :class:`networkx.Graph` or a callable
+    ``graph`` is a fixed topology (either an ``nx.Graph`` or a
+    :class:`~repro.topology.sparse.NeighborList`) or a callable
     ``t → Graph`` (a :class:`~repro.topology.dynamic.RegularGraphEachRound`).
     Static graphs memoize by eligibility mask (masked weights repeat
     across rounds with the same membership); dynamic graphs memoize by
@@ -290,6 +292,7 @@ def compile_run(
     vectorized: bool = False,
     eval_mode: str = "auto",
     eval_on: str = "test",
+    state_backend: str = "memory",
 ) -> CompiledRun:
     """Resolve and wire one scenario into a runnable cell.
 
@@ -299,7 +302,8 @@ def compile_run(
     the spec's defaults (the sweep orchestrator passes the cell's).
     ``preset`` injects a preset object directly (tests); ``prepared``
     skips data synthesis when the caller already holds the cell's
-    prepared experiment.
+    prepared experiment. ``state_backend`` selects the engine's
+    state-matrix backing (:mod:`repro.simulation.state_store`).
     """
     resolved_kind = validate_composition(spec, kind)
     base, degree = scenario_base(spec, preset)
@@ -344,6 +348,7 @@ def compile_run(
             mixing=mixing,
             failure_model=failure_model,
             churn=churn,
+            state_backend=state_backend,
         )
     else:
         engine, algo = build_async_run(
@@ -357,6 +362,7 @@ def compile_run(
             enforce_budgets=spec.energy.enforce_budgets,
             churn=churn,
             vectorized=vectorized,
+            state_backend=state_backend,
         )
     return CompiledRun(
         spec=spec,
@@ -390,7 +396,7 @@ def _sync_mixing(
         if not masked:
             return None  # the prepared static MH matrix
         return scenario_mixing_provider(
-            regular_graph(n, degree, seed=seed), churn, failure_model
+            regular_neighbors(n, degree, seed=seed), churn, failure_model
         )
     period = topo.period if topo.kind == "dynamic-periodic" else 1
     if not masked:

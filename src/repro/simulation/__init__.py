@@ -46,8 +46,16 @@ from .metrics import (
 )
 from .network import MessagePassingNetwork, TrafficStats
 from .node import Node
+from .node_shard import NodeShardError, NodeShardPool, shard_blocks
 from .parallel import ParallelSimulationEngine
 from .rng import RngFactory, generator_state, restore_generator
+from .state_store import (
+    MemoryStateStore,
+    MmapStateStore,
+    StateStore,
+    make_state_store,
+    resolve_state_backend,
+)
 
 __all__ = [
     "RngFactory",
@@ -57,6 +65,9 @@ __all__ = [
     "EngineConfig",
     "SimulationEngine",
     "ParallelSimulationEngine",
+    "NodeShardPool",
+    "NodeShardError",
+    "shard_blocks",
     "RoundRecord",
     "RunHistory",
     "consensus_distance",
@@ -90,4 +101,9 @@ __all__ = [
     "load_async_run_checkpoint",
     "generator_state",
     "restore_generator",
+    "StateStore",
+    "MemoryStateStore",
+    "MmapStateStore",
+    "make_state_store",
+    "resolve_state_backend",
 ]

@@ -89,6 +89,7 @@ from .event_batch import EventBatch, plan_window
 from .metrics import consensus_distance, evaluate_state, membership_eval_pool
 from .node import Node
 from .rng import generator_state, restore_generator
+from .state_store import make_state_store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..scenarios.churn import ChurnSchedule
@@ -299,6 +300,7 @@ class AsyncGossipEngine:
         enforce_budgets: bool = False,
         churn: "ChurnSchedule | None" = None,
         vectorized: bool = False,
+        state_backend: str = "memory",
     ) -> None:
         n = len(nodes)
         if n != len(neighbor_lists):
@@ -342,7 +344,7 @@ class AsyncGossipEngine:
         self.loss = CrossEntropyLoss()
         self.optimizer = SGD(model.parameters(), lr=learning_rate)
         init = parameter_vector(model)
-        self.state = np.tile(init, (n, 1))
+        self._store = make_state_store(state_backend, init, n_rows=n)
         self.activation_counts = np.zeros(n, dtype=np.int64)
         self.train_counts = np.zeros(n, dtype=np.int64)
         self.train_energy_wh = 0.0
@@ -353,6 +355,23 @@ class AsyncGossipEngine:
     @property
     def n_nodes(self) -> int:
         return len(self.nodes)
+
+    @property
+    def state(self) -> np.ndarray:
+        """The ``(n, dim)`` node-state matrix, backed by the configured
+        :mod:`~repro.simulation.state_store` backend. Event execution
+        touches it through per-node row views only."""
+        return self._store.array
+
+    @state.setter
+    def state(self, value: np.ndarray) -> None:
+        self._store.assign(value)
+
+    def close(self) -> None:
+        """Release the state backing (unlinks the mmap file, if any).
+        Idempotent; the orchestrator calls it when a cell finishes
+        either way, and a finalizer covers abandoned engines."""
+        self._store.close()
 
     def _train_node(self, i: int) -> None:
         set_parameter_vector(self.model, self.state[i])

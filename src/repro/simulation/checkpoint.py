@@ -83,16 +83,41 @@ def _engine_payload(engine: SimulationEngine, round_index: int) -> dict:
     if round_index < 0:
         raise ValueError("round_index must be non-negative")
     payload = {
-        "state": engine.state,
         "round_index": np.array(round_index, dtype=np.int64),
     }
+    sharder = getattr(engine, "_node_sharder", None)
+    if sharder is not None:
+        # Node-sharded cells store the matrix as one block per shard —
+        # contiguous ascending row ranges, so loaders reassemble it with
+        # a single concatenate. The values are identical to the
+        # unsharded "state" layout; only the npz key layout differs.
+        for k, (lo, hi) in enumerate(sharder.blocks):
+            payload[f"state_shard_{k}"] = engine.state[lo:hi]
+    else:
+        payload["state"] = engine.state
     if engine.meter is not None:
         payload.update(engine.meter.state_dict())
     return payload
 
 
+def _archived_state(archive: np.lib.npyio.NpzFile) -> np.ndarray:
+    """The checkpoint's state matrix, whichever layout wrote it: the
+    plain ``state`` array, or ``state_shard_{k}`` blocks concatenated
+    in shard order. Every loader accepts both, so sharded and unsharded
+    processes can resume each other's checkpoints."""
+    if "state" in archive:
+        return archive["state"]
+    shard_keys = sorted(
+        (key for key in archive.files if key.startswith("state_shard_")),
+        key=lambda key: int(key.rsplit("_", 1)[1]),
+    )
+    if not shard_keys:
+        raise ValueError("checkpoint holds no state matrix")
+    return np.concatenate([archive[key] for key in shard_keys], axis=0)
+
+
 def _restore_engine(engine: SimulationEngine, archive: np.lib.npyio.NpzFile) -> int:
-    state = archive["state"]
+    state = _archived_state(archive)
     if state.shape != engine.state.shape:
         raise ValueError(
             f"checkpoint state shape {state.shape} does not match "

@@ -77,6 +77,7 @@ from .metrics import (
     membership_eval_pool,
 )
 from .node import Node
+from .state_store import STATE_BACKENDS, make_state_store
 
 __all__ = ["EngineConfig", "SimulationEngine"]
 
@@ -107,12 +108,18 @@ class EngineConfig:
     weight_decay: float = 0.0
     vectorized: bool = False
     eval_mode: str = "auto"
+    state_backend: str = "memory"
 
     def __post_init__(self) -> None:
         if self.eval_mode not in ("serial", "batched", "auto"):
             raise ValueError(
                 f'eval_mode must be "serial", "batched" or "auto", '
                 f"got {self.eval_mode!r}"
+            )
+        if self.state_backend not in STATE_BACKENDS:
+            raise ValueError(
+                f"state_backend must be one of {STATE_BACKENDS}, "
+                f"got {self.state_backend!r}"
             )
         if self.local_steps <= 0:
             raise ValueError("local_steps must be positive")
@@ -220,16 +227,45 @@ class SimulationEngine:
         # All nodes start from the same initialization (Algorithm 1/2
         # initialize x_i^0; DecentralizePy seeds all nodes identically).
         init = parameter_vector(model)
-        self.state = np.tile(init, (n, 1))
+        self._store = make_state_store(config.state_backend, init, n_rows=n)
         self._comm_scale = (
             1.0 if compressor is None else compressor.ratio(dim)
         )
         # error-feedback public copies (lazy; only with a compressor)
         self._public: np.ndarray | None = None
+        # node-axis sharder (see simulation.node_shard); attached by the
+        # sweep orchestrator for --node-shards > 1 cells
+        self._node_sharder = None
 
     @property
     def n_nodes(self) -> int:
         return len(self.nodes)
+
+    @property
+    def state(self) -> np.ndarray:
+        """The ``(n, dim)`` node-state matrix, backed by the configured
+        :mod:`~repro.simulation.state_store` backend. Assignment routes
+        whole-matrix updates (the gossip GEMM) through the store."""
+        return self._store.array
+
+    @state.setter
+    def state(self, value: np.ndarray) -> None:
+        self._store.assign(value)
+
+    def close(self) -> None:
+        """Release the state backing (unlinks the mmap file, if any).
+        Idempotent; the orchestrator calls it when a cell finishes
+        either way, and a finalizer covers abandoned engines."""
+        self._store.close()
+
+    def set_node_sharder(self, sharder) -> None:
+        """Attach (or detach, with ``None``) a
+        :class:`~repro.simulation.node_shard.NodeShardPool`. While
+        attached, the local-training stage fans node blocks out to the
+        pool's fork workers; everything else — rng streams, gossip,
+        energy, evaluation, checkpoints — stays in this process, which
+        is what keeps sharded runs byte-identical to unsharded ones."""
+        self._node_sharder = sharder
 
     # -- internals ------------------------------------------------------------
 
@@ -258,6 +294,8 @@ class SimulationEngine:
         (empty when no node trains this round).
         """
         ids = np.nonzero(mask)[0]
+        if self._node_sharder is not None:
+            return self._node_sharder.train_round(self, ids)
         if self._trainer is None:
             return [self._train_node(int(i)) for i in ids]
         if ids.size == 0:
@@ -269,6 +307,39 @@ class SimulationEngine:
             for i in ids
         ]
         return self._trainer.train_rows(self.state, ids, batch_lists).tolist()
+
+    def _train_block(
+        self, block: np.ndarray, batch_lists: list
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pure block trainer for node-axis sharding: train ``block``'s
+        rows against pre-sampled ``batch_lists`` (one list of ``(xb,
+        yb)`` pairs per row) and return ``(trained rows, per-row mean
+        losses)``. Reads no rng stream and touches neither ``state``
+        nor the meter, so a forked worker can run it on shipped rows;
+        both implementations are bit-identical to training the same
+        rows in the parent (the serial branch is :meth:`_train_node`
+        minus the state indexing, the vectorized branch is the same
+        stacked kernels over a smaller row block)."""
+        out = np.array(block, dtype=np.float64, copy=True)
+        k = out.shape[0]
+        if self._trainer is not None:
+            losses = self._trainer.train_rows(
+                out, np.arange(k, dtype=np.int64), batch_lists
+            )
+            return out, np.asarray(losses, dtype=np.float64)
+        losses = np.empty(k, dtype=np.float64)
+        for r in range(k):
+            set_parameter_vector(self.model, out[r])
+            total_loss = 0.0
+            for xb, yb in batch_lists[r]:
+                logits = self.model(xb)
+                total_loss += self.loss.forward(logits, yb)
+                self.model.zero_grad()
+                self.model.backward(self.loss.backward())
+                self.optimizer.step()
+            parameter_vector(self.model, out=out[r])
+            losses[r] = total_loss / self.config.local_steps
+        return out, losses
 
     def _mixing_for_round(self, t: int) -> sp.csr_matrix:
         """The round's mixing matrix: static, provided per round, or

@@ -1,0 +1,199 @@
+"""Pluggable storage for the engines' ``(n, dim)`` node-state matrix.
+
+Both engines keep fleet state in one float64 matrix ``X`` — a row per
+node — and touch it through active-node slices (``X[i]``,
+``X[ids]``). At paper scale (n ≤ 256) an in-memory array is the
+obvious backing; at fleet scale (n = 16384 and beyond, the ROADMAP's
+10k–1M axis) the matrix is the single largest allocation in the
+process, and most rows are cold between their turns in the gossip
+GEMM. This module makes the backing pluggable:
+
+* :class:`MemoryStateStore` — the historical in-memory array.
+  ``assign`` rebinds the reference, exactly like the engines' old
+  ``self.state = W @ self.state``, so trajectories are bit-identical
+  by construction.
+* :class:`MmapStateStore` — an ``np.memmap`` over an unlinked-on-close
+  temporary file. Slice reads/writes hit the page cache; the OS evicts
+  cold rows under pressure, so resident memory follows the *active*
+  working set, not the fleet. Values round-trip bit-exactly (the file
+  holds raw IEEE-754 rows), so a run is bit-identical to the memory
+  backend's.
+
+``EngineConfig.state_backend`` selects ``"memory"``, ``"mmap"``, or
+``"auto"`` (memory until the matrix would exceed
+:data:`AUTO_MMAP_BYTES`, then mmap). Cleanup is belt and braces: the
+sweep orchestrator closes stores explicitly on success *and* failure,
+and a ``weakref.finalize`` guard unlinks the backing file at garbage
+collection or interpreter exit — covering Ctrl-C, which raises
+``KeyboardInterrupt`` through the run loop and still exits through the
+atexit machinery.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import weakref
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "STATE_BACKENDS",
+    "AUTO_MMAP_BYTES",
+    "StateStore",
+    "MemoryStateStore",
+    "MmapStateStore",
+    "resolve_state_backend",
+    "make_state_store",
+]
+
+#: accepted ``EngineConfig.state_backend`` values
+STATE_BACKENDS = ("memory", "mmap", "auto")
+
+#: ``"auto"`` switches to the mmap backend once the state matrix would
+#: exceed this many bytes in memory (64 MiB — comfortably above every
+#: paper-scale preset, comfortably below the fleet presets).
+AUTO_MMAP_BYTES = 64 * 1024 * 1024
+
+
+@runtime_checkable
+class StateStore(Protocol):
+    """What the engines need from a state backing: a full-matrix view
+    for slicing, whole-matrix assignment (the gossip GEMM rebinds), and
+    explicit lifecycle hooks."""
+
+    backend: str
+
+    @property
+    def array(self) -> np.ndarray: ...
+
+    def assign(self, value: np.ndarray) -> None: ...
+
+    def flush(self) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class MemoryStateStore:
+    """The historical backing: one in-memory ndarray.
+
+    ``assign`` *rebinds* rather than copies — the exact semantics of
+    the engines' former ``self.state = W @ self.state`` — so the
+    object identity flow, and therefore every downstream bit, matches
+    the pre-store engines."""
+
+    backend = "memory"
+
+    def __init__(self, array: np.ndarray) -> None:
+        self._array = np.asarray(array, dtype=np.float64)
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._array
+
+    def assign(self, value: np.ndarray) -> None:
+        if np.shape(value) != self._array.shape:
+            raise ValueError(
+                f"state assignment shape {np.shape(value)} does not "
+                f"match store {self._array.shape}"
+            )
+        self._array = np.asarray(value, dtype=np.float64)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
+
+
+class MmapStateStore:
+    """State rows in a memory-mapped temporary file.
+
+    The file is created with ``tempfile.mkstemp`` (private, race-free)
+    and removed by :meth:`close` or, failing that, by a
+    ``weakref.finalize`` guard at collection/exit — so success,
+    exception, and Ctrl-C paths all delete it. ``assign`` copies into
+    the mapping in place (a memmap cannot be rebound), which is
+    value-preserving and therefore bit-identical to the memory
+    backend's rebind."""
+
+    backend = "mmap"
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        dtype: type = np.float64,
+        directory: str | os.PathLike | None = None,
+    ) -> None:
+        fd, raw = tempfile.mkstemp(prefix="repro-state-", suffix=".mmap",
+                                   dir=directory)
+        os.close(fd)
+        self.path = Path(raw)
+        self._mm = np.memmap(raw, dtype=dtype, mode="w+", shape=shape)
+        # a plain-ndarray view over the same pages: slice writes still
+        # hit the file, but np.zeros_like/.copy() on engine state yield
+        # ordinary in-memory arrays instead of memmap subclasses
+        self._view = self._mm.view(np.ndarray)
+        self._finalizer = weakref.finalize(self, _unlink_quietly, raw)
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._view
+
+    def assign(self, value: np.ndarray) -> None:
+        if np.shape(value) != self._view.shape:
+            raise ValueError(
+                f"state assignment shape {np.shape(value)} does not "
+                f"match store {self._view.shape}"
+            )
+        self._view[...] = value
+
+    def flush(self) -> None:
+        self._mm.flush()
+
+    def close(self) -> None:
+        self._mm.flush()
+        self._finalizer()  # idempotent: unlinks once, no-op after
+
+
+def resolve_state_backend(backend: str, n_rows: int, dim: int) -> str:
+    """Normalize a configured backend to a concrete one, applying the
+    ``"auto"`` size threshold."""
+    if backend not in STATE_BACKENDS:
+        raise ValueError(
+            f"state_backend must be one of {STATE_BACKENDS}, got {backend!r}"
+        )
+    if backend != "auto":
+        return backend
+    return "mmap" if n_rows * dim * 8 > AUTO_MMAP_BYTES else "memory"
+
+
+def make_state_store(
+    backend: str,
+    init_row: np.ndarray,
+    *,
+    n_rows: int,
+    directory: str | os.PathLike | None = None,
+) -> "MemoryStateStore | MmapStateStore":
+    """Build a store holding ``n_rows`` copies of ``init_row`` (every
+    node starts from the same initialization, as in Algorithm 1/2)."""
+    init_row = np.asarray(init_row, dtype=np.float64)
+    if init_row.ndim != 1 or init_row.size == 0:
+        raise ValueError("init_row must be a non-empty 1-D vector")
+    if n_rows <= 0:
+        raise ValueError("n_rows must be positive")
+    resolved = resolve_state_backend(backend, n_rows, init_row.size)
+    if resolved == "memory":
+        return MemoryStateStore(np.tile(init_row, (n_rows, 1)))
+    store = MmapStateStore((n_rows, init_row.size), directory=directory)
+    store.array[:] = init_row  # broadcast: same bits as np.tile
+    return store

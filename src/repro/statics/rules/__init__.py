@@ -12,6 +12,8 @@ Current inventory (``repro check --list-rules`` prints it live):
 * ``artifact-codec`` — result JSON goes through the artifacts codec.
 * ``shm-unlink`` — created shared-memory segments must show an unlink
   path (reachable ``.unlink()`` or a registered finalizer).
+* ``no-dense-topology`` — no ``.toarray()``/``.todense()``/``np.outer``
+  where topology-sized matrices live (simulation/topology/scenarios).
 """
 
 from . import (  # noqa: F401  (import side effect: rule registration)
@@ -22,4 +24,5 @@ from . import (  # noqa: F401  (import side effect: rule registration)
     resources,
     rng,
     state_contract,
+    topology_dense,
 )

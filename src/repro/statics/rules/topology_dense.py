@@ -1,0 +1,69 @@
+"""Dense-topology materialization ban.
+
+The fleet-scale contract is that memory grows O(E + active·dim) in the
+node count, never O(n²). One stray ``.toarray()`` on a mixing matrix
+silently allocates 2 GiB at n=16384 and defeats the entire sparse
+backbone, so densification is banned statically wherever topology-sized
+matrices live: the ``simulation``, ``topology``, and ``scenarios``
+packages. Diagnostics that genuinely need a dense matrix (the capped
+exact eigensolve in ``mixing.spectral_gap``) carry an explicit
+suppression with their size bound in the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import ImportMap
+from ..finding import Finding
+from ..rule import FileContext, Rule, register
+
+#: packages whose files this rule applies to (by directory name, so
+#: fixture trees scope exactly like src/repro)
+TOPOLOGY_PACKAGES = frozenset({"simulation", "topology", "scenarios"})
+
+#: sparse-matrix methods that materialize an n×n dense array
+_DENSIFY_METHODS = frozenset({"toarray", "todense"})
+
+#: call targets that build a dense outer-product matrix
+_DENSE_BUILDERS = frozenset({"numpy.outer"})
+
+
+@register
+class DenseTopology(Rule):
+    rule_id = "no-dense-topology"
+    title = "no dense n×n materialization in topology-sized code"
+    rationale = (
+        ".toarray()/.todense()/np.outer turn an O(E) sparse structure "
+        "into an O(n²) allocation — 2 GiB at n=16384 — breaking the "
+        "fleet memory contract; keep the CSR form or suppress with an "
+        "explicit size cap"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_packages(TOPOLOGY_PACKAGES):
+            return
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _DENSIFY_METHODS
+            ):
+                yield ctx.finding(
+                    node, self,
+                    f".{func.attr}() materializes a dense n×n array from "
+                    f"a sparse matrix; stay in CSR form (or suppress with "
+                    f"the size bound that makes dense safe)",
+                )
+                continue
+            name = imports.resolve_call(func)
+            if name in _DENSE_BUILDERS:
+                yield ctx.finding(
+                    node, self,
+                    f"{name}() builds a dense rank-1 n×n matrix; express "
+                    f"the product against sparse structure instead",
+                )

@@ -23,8 +23,22 @@ from .mixing import (
     spectral_gap,
     uniform_neighbor_weights,
 )
+from .sparse import (
+    NeighborList,
+    as_neighbor_list,
+    csr_connected,
+    regular_neighbors,
+    ring_neighbors,
+    torus_neighbors,
+)
 
 __all__ = [
+    "NeighborList",
+    "as_neighbor_list",
+    "csr_connected",
+    "ring_neighbors",
+    "torus_neighbors",
+    "regular_neighbors",
     "regular_graph",
     "ring_graph",
     "torus_graph",

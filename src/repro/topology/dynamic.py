@@ -11,11 +11,10 @@ from __future__ import annotations
 
 from typing import Callable
 
-import networkx as nx
 import scipy.sparse as sp
 
-from .graphs import regular_graph
 from .mixing import metropolis_hastings_weights
+from .sparse import NeighborList, regular_neighbors
 
 __all__ = [
     "static_provider",
@@ -43,6 +42,12 @@ class RegularGraphEachRound:
     (``seed + 7919 * epoch``) matches :class:`RandomRegularEachRound`
     exactly, so a dynamic scenario without churn/failures sees the same
     graph sequence whichever layer provides it.
+
+    Graphs come back as CSR-native
+    :class:`~repro.topology.sparse.NeighborList` objects —
+    edge-identical to ``graphs.regular_graph`` for the same arguments,
+    but built without materializing an ``nx.Graph``, so per-round
+    rewiring stays O(E) at fleet sizes.
     """
 
     def __init__(self, n_nodes: int, degree: int, seed: int = 0,
@@ -56,17 +61,17 @@ class RegularGraphEachRound:
         self.seed = seed
         self.period = period
         self.cache_size = cache_size
-        self._cache: dict[int, nx.Graph] = {}
+        self._cache: dict[int, NeighborList] = {}
 
     def epoch(self, t: int) -> int:
         return (t - 1) // self.period + 1
 
-    def __call__(self, t: int) -> nx.Graph:
+    def __call__(self, t: int) -> NeighborList:
         epoch = self.epoch(t)
         if epoch not in self._cache:
             if len(self._cache) >= self.cache_size:
                 self._cache.pop(min(self._cache))
-            self._cache[epoch] = regular_graph(
+            self._cache[epoch] = regular_neighbors(
                 self.n_nodes, self.degree, seed=self.seed + 7919 * epoch
             )
         return self._cache[epoch]

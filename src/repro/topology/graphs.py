@@ -17,6 +17,8 @@ import networkx as nx
 import numpy as np
 import scipy.sparse as sp
 
+from .sparse import NeighborList, csr_connected, regular_edge_arrays
+
 __all__ = [
     "regular_graph",
     "ring_graph",
@@ -32,10 +34,23 @@ __all__ = [
 ]
 
 
-def validate_topology(graph: nx.Graph) -> None:
+def validate_topology(graph: "nx.Graph | NeighborList") -> None:
     """Reject graphs the synchronous round model cannot run on:
     self-loops, non-contiguous labels, or a disconnected graph
-    (convergence to global consensus requires connectivity)."""
+    (convergence to global consensus requires connectivity).
+
+    Accepts either representation; connectivity runs through the
+    O(V+E) CSR breadth-first search
+    (:func:`repro.topology.sparse.csr_connected`), not
+    ``nx.is_connected``. A :class:`NeighborList` checks labels and
+    self-loops structurally at construction, so only connectivity
+    remains here."""
+    if isinstance(graph, NeighborList):
+        if graph.n_nodes == 0:
+            raise ValueError("empty graph")
+        if not csr_connected(graph):
+            raise ValueError("graph must be connected")
+        return
     n = graph.number_of_nodes()
     if n == 0:
         raise ValueError("empty graph")
@@ -43,27 +58,26 @@ def validate_topology(graph: nx.Graph) -> None:
         raise ValueError("graph nodes must be labelled 0..n-1")
     if any(graph.has_edge(u, u) for u in graph.nodes):
         raise ValueError("self-loops are not allowed")
-    if n > 1 and not nx.is_connected(graph):
+    if n > 1 and not csr_connected(graph):
         raise ValueError("graph must be connected")
 
 
 def regular_graph(n: int, degree: int, seed: int = 0) -> nx.Graph:
     """Random connected ``degree``-regular graph on ``n`` nodes (the
-    paper's topology family). Retries the random construction until a
-    connected instance is found."""
-    if degree >= n:
-        raise ValueError(f"degree {degree} must be < n={n}")
-    if (n * degree) % 2 != 0:
-        raise ValueError(f"n*degree must be even (n={n}, degree={degree})")
-    if degree < 1:
-        raise ValueError("degree must be >= 1")
-    for attempt in range(100):
-        g = nx.random_regular_graph(degree, n, seed=seed + attempt)
-        if nx.is_connected(g):
-            g = nx.convert_node_labels_to_integers(g)
-            validate_topology(g)
-            return g
-    raise RuntimeError(f"no connected {degree}-regular graph found in 100 tries")
+    paper's topology family), as an ``nx.Graph``.
+
+    Delegates to :func:`repro.topology.sparse.regular_edge_arrays`:
+    the stub-pairing model retried on the bounded seed-stable schedule
+    ``seed .. seed+99`` until the CSR BFS accepts a connected
+    instance, with infeasible ``(n, degree)`` pairs rejected up front.
+    Returns the same edge set as
+    :func:`~repro.topology.sparse.regular_neighbors` — the fleet-scale
+    CSR twin — for identical arguments."""
+    u, v = regular_edge_arrays(n, degree, seed)
+    g = nx.empty_graph(n)
+    g.add_edges_from(zip(u.tolist(), v.tolist()))
+    validate_topology(g)
+    return g
 
 
 def ring_graph(n: int) -> nx.Graph:
@@ -104,7 +118,7 @@ def erdos_renyi_graph(n: int, p: float | None = None, seed: int = 0) -> nx.Graph
         raise ValueError("p must be in (0, 1]")
     for attempt in range(100):
         g = nx.erdos_renyi_graph(n, p, seed=seed + attempt)
-        if n == 1 or nx.is_connected(g):
+        if n == 1 or csr_connected(g):
             validate_topology(g)
             return g
     raise RuntimeError("no connected Erdős–Rényi instance found in 100 tries")
@@ -147,16 +161,24 @@ def barbell_graph(clique: int, path: int = 0) -> nx.Graph:
     return g
 
 
-def adjacency_matrix(graph: nx.Graph) -> sp.csr_matrix:
+def adjacency_matrix(graph: "nx.Graph | NeighborList") -> sp.csr_matrix:
     """Sparse 0/1 adjacency in CSR form (node order 0..n-1)."""
     validate_topology(graph)
+    if isinstance(graph, NeighborList):
+        n = graph.n_nodes
+        data = np.ones(graph.indices.size, dtype=np.float64)
+        return sp.csr_matrix((data, graph.indices, graph.indptr), shape=(n, n))
     return nx.to_scipy_sparse_array(graph, nodelist=range(graph.number_of_nodes()),
                                     format="csr", dtype=np.float64)
 
 
-def neighbor_lists(graph: nx.Graph) -> list[np.ndarray]:
+def neighbor_lists(graph: "nx.Graph | NeighborList") -> list[np.ndarray]:
     """Per-node sorted neighbor index arrays."""
     validate_topology(graph)
+    if isinstance(graph, NeighborList):
+        return [
+            graph.neighbors(i).copy() for i in range(graph.n_nodes)
+        ]
     return [
         np.array(sorted(graph.neighbors(i)), dtype=np.int64)
         for i in range(graph.number_of_nodes())

@@ -1,0 +1,339 @@
+"""CSR-native sparse topologies: the fleet-scale representation.
+
+:class:`NeighborList` stores an undirected graph as the classic CSR
+pair (``indptr``, ``indices``) — two integer arrays totalling
+``O(V + E)`` memory — and is the representation every fleet-scale path
+(``*-fleet`` presets, n=1024..16384) runs on. The generators here build
+the arrays directly from edge lists and never construct an
+``networkx.Graph``; connectivity is a vectorized O(V+E) breadth-first
+search instead of ``nx.is_connected``.
+
+Compatibility contract
+----------------------
+``regular_neighbors(n, d, seed)`` reproduces the *exact edge set* of
+:func:`repro.topology.graphs.regular_graph` for the same arguments:
+both run the same stub-pairing model (Steger–Wormald, the algorithm
+behind ``nx.random_regular_graph``) driven by ``random.Random(seed)``
+and the same bounded ``seed + attempt`` connectivity retry schedule.
+Likewise ``ring_neighbors``/``torus_neighbors`` match the relabeled
+networkx constructions edge-for-edge. Mixing matrices derived from
+either representation are therefore bit-identical (see
+:mod:`repro.topology.mixing`), which is what lets the engines switch
+representation without changing a single artifact byte.
+
+``NeighborList`` also quacks like the slice of the ``nx.Graph`` API the
+simulator consumes (``number_of_nodes``, ``degree``, ``neighbors``,
+``edges``, ``has_edge``), so adapters downstream are one
+``isinstance`` check, not a parallel code path.
+"""
+
+from __future__ import annotations
+
+import random  # repro: allow[rng-module-import] -- replicates networkx's random.Random-seeded pairing model bit-for-bit; graph structure is seed-derived, never ambient
+from collections import defaultdict
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx as nx
+
+__all__ = [
+    "NeighborList",
+    "as_neighbor_list",
+    "csr_connected",
+    "ring_neighbors",
+    "torus_neighbors",
+    "regular_neighbors",
+    "REGULAR_MAX_TRIES",
+]
+
+#: Bounded, seed-stable retry schedule shared by ``regular_neighbors``
+#: and ``graphs.regular_graph``: attempt ``seed + k`` for k in
+#: ``range(REGULAR_MAX_TRIES)``, keeping the accepted instance a pure
+#: function of (n, degree, seed).
+REGULAR_MAX_TRIES = 100
+
+
+class NeighborList:
+    """An undirected graph with nodes ``0..n-1`` in CSR form.
+
+    ``indices[indptr[i]:indptr[i+1]]`` are node ``i``'s neighbors in
+    ascending order. Construction validates shape invariants (sorted,
+    symmetric input edges, no self-loops or duplicates); connectivity
+    is checked separately via :func:`csr_connected` because some
+    consumers (masked subgraphs under failures) are legitimately
+    disconnected.
+    """
+
+    __slots__ = ("indptr", "indices")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        n = self.indptr.size - 1
+        if n < 0 or self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("malformed indptr")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= n:
+                raise ValueError("neighbor index out of range")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, n_nodes: int, u: np.ndarray, v: np.ndarray
+    ) -> "NeighborList":
+        """Build from undirected edge arrays (each edge listed once, in
+        any order). O(E log E) from the per-row neighbor sort; no n×n
+        intermediate."""
+        u = np.asarray(u, dtype=np.int64).ravel()
+        v = np.asarray(v, dtype=np.int64).ravel()
+        if u.shape != v.shape:
+            raise ValueError("edge arrays must have equal length")
+        if n_nodes <= 0:
+            raise ValueError("need at least one node")
+        if u.size:
+            lo, hi = min(u.min(), v.min()), max(u.max(), v.max())
+            if lo < 0 or hi >= n_nodes:
+                raise ValueError(
+                    f"edge endpoint out of range for n={n_nodes}"
+                )
+            if np.any(u == v):
+                raise ValueError("self-loops are not allowed")
+        rows = np.concatenate([u, v])
+        cols = np.concatenate([v, u])
+        order = np.lexsort((cols, rows))
+        rows, cols = rows[order], cols[order]
+        if rows.size > 1 and np.any(
+            (rows[1:] == rows[:-1]) & (cols[1:] == cols[:-1])
+        ):
+            raise ValueError("duplicate edges are not allowed")
+        counts = np.bincount(rows, minlength=n_nodes)
+        indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, cols)
+
+    @classmethod
+    def from_graph(cls, graph: "nx.Graph") -> "NeighborList":
+        """Adapter from a validated ``nx.Graph`` (nodes ``0..n-1``)."""
+        n = graph.number_of_nodes()
+        if n == 0:
+            raise ValueError("empty graph")
+        edges = np.asarray(list(graph.edges), dtype=np.int64)
+        if edges.size == 0:
+            edges = edges.reshape(0, 2)
+        return cls.from_edges(n, edges[:, 0], edges[:, 1])
+
+    # -- nx-compatible surface ---------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self.indptr.size - 1
+
+    def number_of_nodes(self) -> int:
+        return self.n_nodes
+
+    def number_of_edges(self) -> int:
+        return self.indices.size // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-node degree array (int64, length n)."""
+        return np.diff(self.indptr)
+
+    def degree(self, i: int) -> int:
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    def neighbors(self, i: int) -> np.ndarray:
+        """Node ``i``'s neighbors, ascending (a view, do not mutate)."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors(u)
+        k = int(np.searchsorted(nbrs, v))
+        return k < nbrs.size and int(nbrs[k]) == v
+
+    @property
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Unique undirected edges ``(u, v)`` with ``u < v``, in CSR
+        (row-major, ascending-column) order."""
+        u, v = self.edge_arrays()
+        return zip(u.tolist(), v.tolist())
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Unique undirected edges as ``(u, v)`` arrays with ``u < v``,
+        in deterministic CSR order — the per-edge weight kernels in
+        :mod:`repro.topology.mixing` consume these."""
+        rows = np.repeat(np.arange(self.n_nodes, dtype=np.int64),
+                         self.degrees)
+        keep = rows < self.indices
+        return rows[keep], self.indices[keep]
+
+
+def as_neighbor_list(topology: "NeighborList | nx.Graph") -> NeighborList:
+    """The one adapter every consumer funnels through: pass a
+    :class:`NeighborList` straight through, convert an ``nx.Graph``."""
+    if isinstance(topology, NeighborList):
+        return topology
+    return NeighborList.from_graph(topology)
+
+
+def csr_connected(topology: "NeighborList | nx.Graph") -> bool:
+    """O(V+E) connectivity via vectorized breadth-first search — the
+    replacement for ``nx.is_connected`` on both representations."""
+    nbl = as_neighbor_list(topology)
+    n = nbl.n_nodes
+    if n <= 1:
+        return True
+    indptr, indices = nbl.indptr, nbl.indices
+    seen = np.zeros(n, dtype=bool)
+    seen[0] = True
+    frontier = np.array([0], dtype=np.int64)
+    reached = 1
+    while frontier.size:
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # gather all frontier nodes' neighbor slices in one shot
+        offsets = np.repeat(starts - np.concatenate(([0], counts[:-1])).cumsum(),
+                            counts)
+        nbrs = indices[offsets + np.arange(total)]
+        fresh = np.unique(nbrs[~seen[nbrs]])
+        seen[fresh] = True
+        reached += fresh.size
+        frontier = fresh
+    return reached == n
+
+
+# --------------------------------------------------------------------------
+# Generators: ring / torus / random regular, never via nx.Graph
+# --------------------------------------------------------------------------
+
+
+def ring_neighbors(n: int) -> NeighborList:
+    """Cycle over ``n`` nodes — edge-identical to
+    :func:`repro.topology.graphs.ring_graph`."""
+    if n < 3:
+        raise ValueError("ring needs at least 3 nodes")
+    u = np.arange(n, dtype=np.int64)
+    return NeighborList.from_edges(n, u, (u + 1) % n)
+
+
+def torus_neighbors(rows: int, cols: int) -> NeighborList:
+    """2-D periodic grid (degree 4), row-major labels — edge-identical
+    to :func:`repro.topology.graphs.torus_graph`."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs at least 3x3")
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right = np.roll(idx, -1, axis=1)
+    down = np.roll(idx, -1, axis=0)
+    u = np.concatenate([idx.ravel(), idx.ravel()])
+    v = np.concatenate([right.ravel(), down.ravel()])
+    return NeighborList.from_edges(rows * cols, u, v)
+
+
+def _pairing_model_edges(
+    n: int, degree: int, rng: random.Random
+) -> set[tuple[int, int]]:
+    """One run of the Steger–Wormald stub-pairing model — the exact
+    algorithm (and rng consumption) behind ``nx.random_regular_graph``,
+    so the sampled edge set matches it bit-for-bit for the same seed."""
+
+    def _suitable(edges, potential_edges):
+        if not potential_edges:
+            return True
+        for s1 in potential_edges:
+            for s2 in potential_edges:
+                if s1 == s2:
+                    break
+                if s1 > s2:
+                    s1, s2 = s2, s1
+                if (s1, s2) not in edges:
+                    return True
+        return False
+
+    def _try_creation():
+        edges: set[tuple[int, int]] = set()
+        stubs = list(range(n)) * degree
+        while stubs:
+            potential_edges: dict[int, int] = defaultdict(int)
+            rng.shuffle(stubs)
+            stubiter = iter(stubs)
+            for s1, s2 in zip(stubiter, stubiter):
+                if s1 > s2:
+                    s1, s2 = s2, s1
+                if s1 != s2 and (s1, s2) not in edges:
+                    edges.add((s1, s2))
+                else:
+                    potential_edges[s1] += 1
+                    potential_edges[s2] += 1
+            if not _suitable(edges, potential_edges):
+                return None
+            stubs = [
+                node
+                for node, potential in potential_edges.items()
+                for _ in range(potential)
+            ]
+        return edges
+
+    edges = _try_creation()
+    while edges is None:
+        edges = _try_creation()
+    return edges
+
+
+def validate_regular_params(n: int, degree: int) -> None:
+    """The feasibility screen shared by both regular-graph entry
+    points, with actionable messages: parameter combinations that can
+    never yield a *connected* ``degree``-regular graph fail here, not
+    after a futile 100-attempt retry loop."""
+    if degree >= n:
+        raise ValueError(f"degree {degree} must be < n={n}")
+    if (n * degree) % 2 != 0:
+        raise ValueError(
+            f"n*degree must be even (n={n}, degree={degree}); bump "
+            f"degree or n by one"
+        )
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    if degree == 1 and n > 2:
+        raise ValueError(
+            f"a 1-regular graph on n={n} nodes is a perfect matching "
+            f"and cannot be connected; use degree >= 2"
+        )
+
+
+def regular_edge_arrays(
+    n: int, degree: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Edge arrays of a *connected* random ``degree``-regular graph:
+    the pairing model retried on the bounded, seed-stable schedule
+    ``seed, seed+1, .. seed+{REGULAR_MAX_TRIES}-1`` until the O(V+E)
+    BFS accepts an instance. Shared by :func:`regular_neighbors` and
+    the legacy ``graphs.regular_graph`` so both return the same graph.
+    """
+    validate_regular_params(n, degree)
+    for attempt in range(REGULAR_MAX_TRIES):
+        edges = _pairing_model_edges(n, degree, random.Random(seed + attempt))
+        arr = np.array(sorted(edges), dtype=np.int64).reshape(-1, 2)
+        u, v = arr[:, 0], arr[:, 1]
+        if csr_connected(NeighborList.from_edges(n, u, v)):
+            return u, v
+    raise RuntimeError(
+        f"no connected {degree}-regular graph on n={n} nodes in "
+        f"{REGULAR_MAX_TRIES} tries (seeds {seed}..{seed + REGULAR_MAX_TRIES - 1}); "
+        f"for sparse degrees try a denser degree or another base seed"
+    )
+
+
+def regular_neighbors(n: int, degree: int, seed: int = 0) -> NeighborList:
+    """Random connected ``degree``-regular graph in CSR form —
+    edge-identical to ``graphs.regular_graph(n, degree, seed)``, built
+    without an ``nx.Graph``."""
+    u, v = regular_edge_arrays(n, degree, seed)
+    return NeighborList.from_edges(n, u, v)

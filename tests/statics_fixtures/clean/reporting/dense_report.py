@@ -1,0 +1,13 @@
+"""Clean: densification in a reporting package is out of scope for
+``no-dense-topology`` — figures and tables are small and not
+topology-sized."""
+
+import numpy as np
+
+
+def heatmap_matrix(w):
+    return w.toarray()
+
+
+def covariance(x):
+    return np.outer(x, x)

@@ -1,0 +1,16 @@
+"""Seeded violations: dense n×n materialization in a topology package."""
+
+import numpy as np
+from numpy import outer as np_outer
+
+
+def densify(w):
+    dense = w.toarray()  # expect: no-dense-topology
+    mat = w.todense()  # expect: no-dense-topology
+    return dense, mat
+
+
+def rank_one(x):
+    a = np.outer(x, x)  # expect: no-dense-topology
+    b = np_outer(x, x)  # expect: no-dense-topology
+    return a + b

@@ -25,10 +25,15 @@ from repro.experiments.presets import PRESETS
 
 class TestPresets:
     def test_registry_contains_all(self):
+        from repro.experiments.presets import FLEET_SIZES
+
         sync = {
             "cifar10-bench", "femnist-bench", "cifar10-paper", "femnist-paper"
         }
-        assert set(PRESETS) == sync | {f"{name}-async" for name in sync}
+        fleet = {f"n{size}-fleet" for size in FLEET_SIZES}
+        assert set(PRESETS) == (
+            sync | {f"{name}-async" for name in sync} | fleet
+        )
 
     def test_async_variants_share_sync_configuration(self):
         import dataclasses

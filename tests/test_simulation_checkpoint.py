@@ -96,7 +96,11 @@ class TestCheckpoint:
         path = tmp_path / "ckpt.npz"
         save_checkpoint(eng, 4, path)
         other = make_engine()
-        other.state = np.zeros((N, 5))
+        # forge a wrong-shape backing: state assignment itself rejects
+        # shape changes, so swap the store wholesale
+        from repro.simulation.state_store import MemoryStateStore
+
+        other._store = MemoryStateStore(np.zeros((N, 5)))
         with pytest.raises(ValueError):
             load_checkpoint(other, path)
 

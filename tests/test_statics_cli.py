@@ -51,6 +51,10 @@ SEEDS = {
         "    shm = shared_memory.SharedMemory(create=True, size=n)\n"
         "    return shm.name\n",
     ),
+    "no-dense-topology": (
+        "topology/d.py",
+        "def f(w):\n    return w.toarray()\n",
+    ),
 }
 
 

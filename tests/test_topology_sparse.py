@@ -1,0 +1,196 @@
+"""The sparse NeighborList representation and its nx-equivalence
+contract: generators edge-identical to the networkx constructions,
+mixing weights bit-identical, and full engine trajectories unchanged
+when a NeighborList replaces the nx.Graph it mirrors."""
+
+import numpy as np
+import pytest
+
+from repro.core import DPSGD
+from repro.simulation import EngineConfig, build_engine, masked_mixing
+from repro.topology import (
+    NeighborList,
+    as_neighbor_list,
+    csr_connected,
+    metropolis_hastings_weights,
+    regular_graph,
+    regular_neighbors,
+    ring_graph,
+    ring_neighbors,
+    torus_graph,
+    torus_neighbors,
+    uniform_neighbor_weights,
+)
+from repro.topology.graphs import barbell_graph, neighbor_lists
+from repro.topology.sparse import regular_edge_arrays, validate_regular_params
+
+
+def edge_set(graph):
+    return {tuple(sorted(e)) for e in graph.edges}
+
+
+class TestNeighborList:
+    def test_from_edges_roundtrip(self):
+        nbl = NeighborList.from_edges(4, [0, 1, 2], [1, 2, 3])
+        assert nbl.n_nodes == 4
+        assert nbl.number_of_edges() == 3
+        assert list(nbl.neighbors(1)) == [0, 2]
+        assert nbl.degree(0) == 1 and nbl.degree(1) == 2
+        np.testing.assert_array_equal(nbl.degrees, [1, 2, 2, 1])
+        assert nbl.has_edge(2, 3) and not nbl.has_edge(0, 3)
+        u, v = nbl.edge_arrays()
+        np.testing.assert_array_equal(u, [0, 1, 2])
+        np.testing.assert_array_equal(v, [1, 2, 3])
+
+    def test_edges_iterates_unique_sorted_pairs(self):
+        nbl = ring_neighbors(5)
+        assert set(nbl.edges) == {(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)}
+
+    def test_rejects_self_loops_duplicates_and_range(self):
+        with pytest.raises(ValueError, match="self-loops"):
+            NeighborList.from_edges(3, [0], [0])
+        with pytest.raises(ValueError, match="duplicate"):
+            NeighborList.from_edges(3, [0, 1], [1, 0])
+        with pytest.raises(ValueError, match="out of range"):
+            NeighborList.from_edges(3, [0], [3])
+
+    def test_from_graph_matches_edges(self):
+        g = torus_graph(3, 4)
+        nbl = NeighborList.from_graph(g)
+        assert edge_set(nbl) == edge_set(g)
+        assert as_neighbor_list(nbl) is nbl
+
+
+class TestConnectivity:
+    def test_connected_families(self):
+        assert csr_connected(ring_neighbors(17))
+        assert csr_connected(torus_neighbors(4, 5))
+        assert csr_connected(regular_neighbors(30, 3, seed=1))
+
+    def test_disconnected_detected(self):
+        # two disjoint triangles
+        nbl = NeighborList.from_edges(
+            6, [0, 1, 2, 3, 4, 5], [1, 2, 0, 4, 5, 3]
+        )
+        assert not csr_connected(nbl)
+
+    def test_matches_networkx_on_barbell(self):
+        import networkx as nx
+
+        g = barbell_graph(4, 2)
+        assert csr_connected(g) == nx.is_connected(g)
+
+    def test_infeasible_regular_params_rejected(self):
+        with pytest.raises(ValueError, match="must be < n"):
+            validate_regular_params(4, 4)
+        with pytest.raises(ValueError, match="even"):
+            validate_regular_params(5, 3)
+        with pytest.raises(ValueError, match="perfect matching"):
+            validate_regular_params(6, 1)
+        with pytest.raises(ValueError, match="even"):
+            regular_edge_arrays(7, 3)
+
+
+class TestGeneratorEquivalence:
+    """regular/ring/torus NeighborLists carry the exact edge set of
+    their networkx twins — the structural half of the bit-identity
+    contract."""
+
+    def test_ring_matches_nx(self):
+        assert edge_set(ring_neighbors(11)) == edge_set(ring_graph(11))
+
+    def test_torus_matches_nx(self):
+        assert edge_set(torus_neighbors(4, 6)) == edge_set(torus_graph(4, 6))
+
+    @pytest.mark.parametrize("n,degree,seed", [
+        (16, 3, 0), (32, 4, 1), (64, 6, 7), (31, 4, 2),
+    ])
+    def test_regular_matches_nx(self, n, degree, seed):
+        assert edge_set(regular_neighbors(n, degree, seed=seed)) == edge_set(
+            regular_graph(n, degree, seed=seed)
+        )
+
+    def test_regular_is_seed_stable(self):
+        a = regular_neighbors(24, 3, seed=5)
+        b = regular_neighbors(24, 3, seed=5)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+
+
+class TestWeightBitIdentity:
+    """Mixing matrices derived from either representation are equal to
+    the last bit — values AND sparsity structure."""
+
+    def assert_csr_identical(self, a, b):
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    @pytest.mark.parametrize("pair", [
+        lambda: (ring_neighbors(13), ring_graph(13)),
+        lambda: (torus_neighbors(3, 5), torus_graph(3, 5)),
+        lambda: (regular_neighbors(40, 4, seed=3), regular_graph(40, 4, seed=3)),
+    ])
+    def test_mh_weights(self, pair):
+        nbl, g = pair()
+        self.assert_csr_identical(
+            metropolis_hastings_weights(nbl), metropolis_hastings_weights(g)
+        )
+
+    def test_uniform_weights(self):
+        nbl, g = regular_neighbors(24, 3, seed=1), regular_graph(24, 3, seed=1)
+        self.assert_csr_identical(
+            uniform_neighbor_weights(nbl), uniform_neighbor_weights(g)
+        )
+
+    def test_masked_mixing(self):
+        nbl, g = regular_neighbors(20, 4, seed=0), regular_graph(20, 4, seed=0)
+        alive = np.ones(20, dtype=bool)
+        alive[[2, 7, 11, 19]] = False
+        self.assert_csr_identical(
+            masked_mixing(nbl, alive), masked_mixing(g, alive)
+        )
+
+    def test_neighbor_lists_adapter(self):
+        nbl, g = regular_neighbors(12, 4, seed=2), regular_graph(12, 4, seed=2)
+        for a, b in zip(neighbor_lists(nbl), neighbor_lists(g)):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestTrajectoryBitIdentity:
+    """The end-to-end acceptance check: an engine wired from a
+    NeighborList produces the exact trajectory of one wired from the
+    equivalent nx.Graph."""
+
+    def test_full_run_identical(self, monkeypatch):
+        import repro.topology as topo
+        from repro.data.synthetic import SyntheticSpec
+        from repro.nn import small_mlp
+
+        spec = SyntheticSpec(num_classes=4, channels=1, image_size=4,
+                             noise_std=1.5, jitter_std=0.4,
+                             prototype_resolution=2)
+        cfg = EngineConfig(local_steps=2, learning_rate=0.2, total_rounds=6,
+                           eval_every=3)
+
+        def factory(rng):
+            return small_mlp(16, 4, hidden=8, rng=rng)
+
+        def run(generator):
+            with monkeypatch.context() as m:
+                m.setattr(topo, "regular_graph", generator)
+                eng = build_engine(spec, 16, cfg, factory, seed=0,
+                                   num_train=128, num_test=64, batch_size=4,
+                                   degree=4)
+            try:
+                hist = eng.run(DPSGD(16))
+                return eng.state.copy(), hist
+            finally:
+                eng.close()
+
+        s_nx, h_nx = run(regular_graph)
+        s_sp, h_sp = run(
+            lambda n, d, seed=0: regular_neighbors(n, d, seed=seed)
+        )
+        np.testing.assert_array_equal(s_nx, s_sp)
+        assert repr(h_nx.records) == repr(h_sp.records)
