@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 __all__ = ["main", "build_parser"]
 
@@ -231,10 +232,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "(bit-compatible with serial)")
     p_sweep.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
                          help="run this shard's cells in N parallel worker "
-                              "processes, or 'auto' to use os.cpu_count() "
-                              "(artifacts byte-identical to --jobs 1; "
-                              "composes with --shard and "
-                              "--checkpoint-every)")
+                              "processes, or 'auto' to use the scheduler "
+                              "affinity mask (cgroup-aware; falls back to "
+                              "os.cpu_count()) — artifacts byte-identical "
+                              "to --jobs 1; composes with --shard and "
+                              "--checkpoint-every")
     p_sweep.add_argument("--pool", choices=["persistent", "fork"],
                          default="persistent",
                          help="parallel backend for --jobs N: 'persistent' "
@@ -301,6 +303,77 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also list suppressed findings with reasons")
     p_check.add_argument("--list-rules", action="store_true",
                          help="print the rule inventory and exit")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running scenario-serving daemon: POST jobs over "
+             "HTTP, Prometheus /metrics, graceful SIGTERM drain "
+             "(docs/serving.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="listen port (0 binds an ephemeral port; "
+                              "the bound address is printed on start)")
+    p_serve.add_argument("--results-dir", default="serve-results",
+                         help="artifact root — the same raw/ layout as "
+                              "repro sweep, and byte-identical artifacts")
+    p_serve.add_argument("--jobs", type=_jobs_arg, default="auto",
+                         metavar="N",
+                         help="pool worker count, or 'auto' (scheduler "
+                              "affinity mask, cgroup-aware)")
+    p_serve.add_argument("--queue-limit", type=int, default=256,
+                         metavar="CELLS",
+                         help="bounded backlog in cells; past it, POST "
+                              "/jobs returns 429")
+    p_serve.add_argument("--checkpoint-every", type=int, default=0,
+                         metavar="ROUNDS",
+                         help="mid-cell checkpoint cadence, as in sweep")
+    p_serve.add_argument("--vectorized", action="store_true",
+                         help="run served cells on the batched engine")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress per-job log lines (the 'serving "
+                              "on' banner is always printed)")
+
+    p_lg = sub.add_parser(
+        "loadgen",
+        help="seeded open-loop load generator: submit a weighted "
+             "scenario mix against a running serve daemon and report "
+             "latency/queueing stats (docs/serving.md)",
+    )
+    p_lg.add_argument("--url", required=True,
+                      help="base URL of the serve daemon, e.g. "
+                           "http://127.0.0.1:8765")
+    p_lg.add_argument("--mix", nargs="+", required=True,
+                      metavar="SCENARIO[=WEIGHT]",
+                      help="weighted scenario mix to draw jobs from "
+                           "(every preset is registered as a scenario, "
+                           "so preset names work too)")
+    p_lg.add_argument("--process", choices=["poisson", "trace", "closed"],
+                      default="poisson",
+                      help="arrival process: open-loop Poisson, a "
+                           "trace-file replay, or closed-loop "
+                           "(submit-wait-submit)")
+    p_lg.add_argument("--rate", type=float, default=1.0,
+                      help="Poisson arrival rate in jobs/second")
+    p_lg.add_argument("--n-jobs", type=int, default=8,
+                      help="number of jobs to submit (poisson/closed)")
+    p_lg.add_argument("--trace-file", default=None, metavar="JSON",
+                      help="arrival trace: a JSON list of {\"offset_s\": "
+                           "float, \"scenario\"?: name} entries")
+    p_lg.add_argument("--seed", type=int, default=0,
+                      help="schedule seed — same seed, same submission "
+                           "schedule")
+    p_lg.add_argument("--seeds-per-job", type=int, default=1)
+    p_lg.add_argument("--seed-base", type=int, default=0,
+                      help="cell seeds for job i are seed-base + "
+                           "i*seeds-per-job ...")
+    p_lg.add_argument("--rounds", type=int, default=None,
+                      help="override each scenario's total rounds")
+    p_lg.add_argument("--timeout", type=float, default=600.0,
+                      metavar="SECONDS",
+                      help="per-job completion timeout")
+    p_lg.add_argument("--out", default=None, metavar="JSON",
+                      help="write the repro/loadgen-report/v1 JSON here")
 
     return parser
 
@@ -803,6 +876,85 @@ def _cmd_convergence(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .experiments.serve import ScenarioServer, ServeConfig
+
+    config = ServeConfig(
+        results_dir=args.results_dir,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        checkpoint_every=args.checkpoint_every,
+        vectorized=args.vectorized,
+        log=None if args.quiet else print,
+    )
+    server = ScenarioServer(config)
+    server.start()
+    # always printed (and flushed), even under --quiet: subprocess
+    # drivers read this line to learn the ephemeral port
+    print(f"serving on {server.url}", flush=True)
+    print(
+        f"workers={server.jobs} ({server.jobs_source}) "
+        f"queue-limit={config.queue_limit} "
+        f"results-dir={config.results_dir}",
+        flush=True,
+    )
+    code = server.serve_forever()
+    print("drained; exiting", flush=True)
+    return code
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .experiments.artifacts import write_json_report
+    from .experiments.serve import build_schedule, run_loadgen
+    from .experiments.serve.loadgen import parse_mix
+
+    mix = parse_mix(args.mix)
+    trace = None
+    if args.process == "trace":
+        if args.trace_file is None:
+            print("error: --process trace needs --trace-file")
+            return 2
+        trace = json_module.loads(Path(args.trace_file).read_text())
+    try:
+        schedule = build_schedule(
+            mix,
+            process=args.process,
+            rate=args.rate,
+            n_jobs=args.n_jobs,
+            seed=args.seed,
+            trace=trace,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    report = run_loadgen(
+        args.url.rstrip("/"),
+        schedule,
+        seeds_per_job=args.seeds_per_job,
+        seed_base=args.seed_base,
+        rounds=args.rounds,
+        process=args.process,
+        timeout_s=args.timeout,
+        log=print,
+    )
+    summary = report["summary"]
+    print(
+        f"submitted={summary['jobs_submitted']} "
+        f"completed={summary['jobs_completed']} "
+        f"failed={summary['jobs_failed']} "
+        f"throughput={summary['throughput_jobs_per_s']:.3f} jobs/s "
+        f"p50={summary['total_s_p50']:.2f}s p95={summary['total_s_p95']:.2f}s"
+    )
+    if args.out is not None:
+        path = write_json_report(args.out, report)
+        print(f"wrote {path}")
+    return 0 if summary["jobs_completed"] == summary["jobs_submitted"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -830,4 +982,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_convergence(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -57,6 +57,7 @@ __all__ = [
     "checkpoint_path",
     "write_cell_artifact",
     "write_async_cell_artifact",
+    "write_json_report",
     "load_cell_artifact",
     "list_cell_artifacts",
     "ArtifactMeter",
@@ -260,6 +261,22 @@ def _write_artifact_json(
     results_dir: str | os.PathLike, cell: PlanCell, payload: dict
 ) -> Path:
     path = artifact_path(results_dir, cell)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1, allow_nan=False) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def write_json_report(path: str | os.PathLike, payload: dict) -> Path:
+    """Atomically write a non-cell JSON report (loadgen reports, future
+    schema-tagged summaries) with the same tmp+rename discipline and
+    NaN policy as cell artifacts. This is the one sanctioned JSON file
+    writer outside the cell codec — callers must put a ``"schema"``
+    tag in ``payload`` themselves."""
+    if "schema" not in payload:
+        raise ValueError("report payload must carry a 'schema' tag")
+    path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(json.dumps(payload, indent=1, allow_nan=False) + "\n")

@@ -241,35 +241,71 @@ def bind_data(meta: SharedDataset, preset: ExperimentPreset) -> PreparedData:
 
 
 def _worker_main(
-    run_one: Callable[[PlanCell, SharedDataset], bool],
+    run_one: Callable[..., bool],
     task_queue: "mp.queues.Queue",
     result_queue: "mp.queues.Queue",
+    progress: bool,
 ) -> None:
-    """Worker loop: pull (cell, descriptor) tasks until the ``None``
-    sentinel; report ``("ok", cell_id, resumed)`` per cell, or
-    ``("err", cell_id, traceback)`` once and stop."""
+    """Worker loop: pull ``(cell, *extra)`` tasks until the ``None``
+    sentinel. Every message is pid-tagged so the parent can attribute
+    it to a worker: ``("start", pid, cell_id)`` on dequeue (before any
+    work — this is what lets the parent name the lost cell if the
+    worker is killed mid-run), then ``("ok", pid, cell_id, resumed)``
+    per cell, or ``("err", pid, cell_id, traceback)`` once and stop.
+    With ``progress`` enabled, ``run_one`` receives a trailing
+    ``report(done, total)`` callable that ships
+    ``("progress", pid, cell_id, done, total)`` messages.
+    """
+    pid = os.getpid()
     while True:
         task = task_queue.get()
         if task is None:
             return
-        cell, meta = task
+        cell, extra = task[0], task[1:]
+        result_queue.put(("start", pid, cell.cell_id))
         try:
-            resumed = run_one(cell, meta)
+            if progress:
+                def report(done: int, total: int, _cid=cell.cell_id) -> None:
+                    result_queue.put(("progress", pid, _cid, done, total))
+
+                resumed = run_one(cell, *extra, report)
+            else:
+                resumed = run_one(cell, *extra)
         except BaseException:
-            result_queue.put(("err", cell.cell_id, traceback.format_exc()))
+            result_queue.put(("err", pid, cell.cell_id, traceback.format_exc()))
             return
-        result_queue.put(("ok", cell.cell_id, resumed))
+        result_queue.put(("ok", pid, cell.cell_id, resumed))
 
 
 class PersistentPool:
     """Long-lived fork workers streaming cells off one work queue.
 
-    ``run_one(cell, shared) -> resumed`` executes a single cell inside
+    ``run_one(cell, *extra) -> resumed`` executes a single cell inside
     a worker; it is captured at construction and inherited through the
-    fork, so nothing about it needs to be picklable. Use as a context
-    manager: ``__enter__`` forks the workers, ``__exit__`` joins them
-    (terminating first if the block is leaving on an error, which is
-    what poisons a queue still holding tasks).
+    fork, so nothing about it needs to be picklable (the ``extra``
+    task elements — the shared-dataset descriptor, and for served jobs
+    an inline scenario spec — do travel through the queue and must
+    pickle). Use as a context manager: ``__enter__`` forks the
+    workers, ``__exit__`` joins them (terminating first if the block is
+    leaving on an error, which is what poisons a queue still holding
+    tasks).
+
+    Two consumption styles share one implementation:
+
+    * batch — :meth:`run` dispatches a fixed task list and yields
+      completions (the sweep path);
+    * streaming — :meth:`submit` / :meth:`next_result` /
+      :meth:`close_intake`, for long-lived callers (``repro serve``)
+      that interleave submission with collection and may
+      :meth:`revive` workers after a failure.
+
+    Liveness: workers announce each cell with a ``start`` message
+    before running it, so the parent always knows which cell a worker
+    holds. A worker observed dead while holding a cell — or dead with a
+    nonzero exit code while work is outstanding — raises
+    :class:`PoolWorkerError` naming the in-flight cell within about one
+    :data:`POLL_INTERVAL`, instead of hanging until every other worker
+    has drained the queue.
     """
 
     #: Seconds between result polls; bounds how stale the worker
@@ -279,7 +315,11 @@ class PersistentPool:
     def __init__(
         self,
         jobs: int,
-        run_one: Callable[[PlanCell, SharedDataset], bool],
+        run_one: Callable[..., bool],
+        *,
+        progress: bool = False,
+        on_start: Callable[[str], None] | None = None,
+        on_progress: Callable[[str, int, int], None] | None = None,
     ) -> None:
         if jobs <= 0:
             raise ValueError("jobs must be positive")
@@ -292,21 +332,22 @@ class PersistentPool:
         self._ctx = mp.get_context("fork")
         self._run_one = run_one
         self._jobs = jobs
+        self._progress = progress
+        self._on_start = on_start
+        self._on_progress = on_progress
         self._task_queue: mp.queues.Queue = self._ctx.Queue()
         self._result_queue: mp.queues.Queue = self._ctx.Queue()
         self._workers: list = []
+        #: cell currently held by each live worker, keyed by pid —
+        #: populated by ``start`` messages, cleared on ok/err
+        self._in_flight: dict[int, str] = {}
+        self._outstanding = 0
+        self._intake_closed = False
 
     def __enter__(self) -> "PersistentPool":
         # fork point: everything run_one closes over is frozen into the
         # workers here, so callers must fully build the closure first
-        self._workers = [
-            self._ctx.Process(
-                target=_worker_main,
-                args=(self._run_one, self._task_queue, self._result_queue),
-                daemon=True,
-            )
-            for _ in range(self._jobs)
-        ]
+        self._workers = [self._spawn_worker() for _ in range(self._jobs)]
         for worker in self._workers:
             worker.start()
         return self
@@ -314,39 +355,151 @@ class PersistentPool:
     def __exit__(self, exc_type: object, *exc: object) -> None:
         self._shutdown(force=exc_type is not None)
 
-    def run(
-        self, tasks: list[tuple[PlanCell, SharedDataset]]
-    ) -> Iterator[tuple[str, bool]]:
+    def _spawn_worker(self):
+        return self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self._run_one,
+                self._task_queue,
+                self._result_queue,
+                self._progress,
+            ),
+            daemon=True,
+        )
+
+    @property
+    def outstanding(self) -> int:
+        """Submitted cells not yet completed (queued or running)."""
+        return self._outstanding
+
+    @property
+    def busy(self) -> int:
+        """Cells currently being executed by a worker."""
+        return len(self._in_flight)
+
+    @property
+    def workers_alive(self) -> int:
+        return sum(1 for w in self._workers if w.is_alive())
+
+    def submit(self, task: tuple) -> None:
+        """Enqueue one ``(cell, *extra)`` task."""
+        if self._intake_closed:
+            raise RuntimeError("pool intake is closed")
+        self._task_queue.put(task)
+        self._outstanding += 1
+
+    def close_intake(self) -> None:
+        """Stop accepting tasks and let workers exit once the queue
+        drains (one ``None`` sentinel per worker). Idempotent."""
+        if self._intake_closed:
+            return
+        self._intake_closed = True
+        for _ in self._workers:
+            self._task_queue.put(None)
+
+    def next_result(self, timeout: float | None = None) -> tuple[str, bool] | None:
+        """Wait up to ``timeout`` (default :data:`POLL_INTERVAL`) for
+        the next completed cell; return ``(cell_id, resumed)``, or
+        ``None`` if the wait elapsed with no completion (after a
+        liveness check). ``start``/``progress`` messages are consumed
+        inline and routed to the constructor callbacks.
+
+        Raises :class:`PoolWorkerError` when a worker reports a cell
+        failure or is found dead holding one; the failed/lost cell is
+        removed from the outstanding count, so a supervising caller can
+        mark it failed, :meth:`revive` the pool, and keep collecting.
+        """
+        wait = self.POLL_INTERVAL if timeout is None else timeout
+        while True:
+            try:
+                msg = self._result_queue.get(timeout=wait)
+            except queue_module.Empty:
+                self._check_liveness()
+                return None
+            kind, pid, cell_id = msg[0], msg[1], msg[2]
+            if kind == "start":
+                self._in_flight[pid] = cell_id
+                if self._on_start is not None:
+                    self._on_start(cell_id)
+                continue
+            if kind == "progress":
+                if self._on_progress is not None:
+                    self._on_progress(cell_id, msg[3], msg[4])
+                continue
+            self._in_flight.pop(pid, None)
+            self._outstanding -= 1
+            if kind == "err":
+                raise PoolWorkerError(cell_id, msg[3])
+            return cell_id, msg[3]
+
+    def _check_liveness(self) -> None:
+        """Raise for the first dead worker that matters: one holding an
+        in-flight cell (named in the error), or one that exited nonzero
+        (killed/crashed) while work is outstanding."""
+        for worker in list(self._workers):
+            if worker.is_alive():
+                continue
+            cell_id = self._in_flight.pop(worker.pid, "")
+            if cell_id or (worker.exitcode != 0 and self._outstanding):
+                self._workers.remove(worker)
+                if cell_id:
+                    self._outstanding -= 1
+                raise PoolWorkerError(
+                    cell_id,
+                    f"worker pid {worker.pid} died without reporting "
+                    f"(exit code {worker.exitcode} — killed or crashed "
+                    f"hard) while "
+                    + (
+                        f"running cell {cell_id}"
+                        if cell_id
+                        else f"{self._outstanding} cell(s) were outstanding"
+                    ),
+                )
+        if self._outstanding and not any(w.is_alive() for w in self._workers):
+            raise PoolWorkerError(
+                "",
+                f"all workers exited with {self._outstanding} cell(s) "
+                f"unaccounted for (a worker died without reporting — "
+                f"killed or crashed hard)",
+            )
+
+    def revive(self) -> int:
+        """Replace dead workers with fresh forks and return how many
+        were respawned. The supervising caller (the serve dispatcher)
+        uses this after handling a :class:`PoolWorkerError` so one
+        crashed cell does not take the daemon down. No-op once intake
+        is closed (the remaining workers will drain and exit)."""
+        dead = [w for w in self._workers if not w.is_alive()]
+        for worker in dead:
+            self._in_flight.pop(worker.pid, None)
+            self._workers.remove(worker)
+        if self._intake_closed:
+            return 0
+        spawned = []
+        while len(self._workers) < self._jobs:
+            worker = self._spawn_worker()
+            self._workers.append(worker)
+            spawned.append(worker)
+        for worker in spawned:
+            worker.start()
+        return len(spawned)
+
+    def run(self, tasks: list[tuple]) -> Iterator[tuple[str, bool]]:
         """Dispatch all tasks and yield ``(cell_id, resumed)`` as cells
         complete (completion order is nondeterministic; artifacts are
         per-cell and deterministic, so callers never depend on it).
 
         Raises :class:`PoolWorkerError` as soon as any worker reports a
-        failure or dies silently while work is outstanding.
+        failure or dies while holding a cell — it no longer waits for
+        every other worker to exit before noticing a silent death.
         """
         for task in tasks:
-            self._task_queue.put(task)
-        for _ in self._workers:
-            self._task_queue.put(None)
-        remaining = len(tasks)
-        while remaining:
-            try:
-                kind, cell_id, payload = self._result_queue.get(
-                    timeout=self.POLL_INTERVAL
-                )
-            except queue_module.Empty:
-                if not any(w.is_alive() for w in self._workers):
-                    raise PoolWorkerError(
-                        "",
-                        f"all workers exited with {remaining} cell(s) "
-                        f"unaccounted for (a worker died without "
-                        f"reporting — killed or crashed hard)",
-                    )
-                continue
-            if kind == "err":
-                raise PoolWorkerError(cell_id, payload)
-            remaining -= 1
-            yield cell_id, payload
+            self.submit(task)
+        self.close_intake()
+        while self._outstanding:
+            result = self.next_result(timeout=self.POLL_INTERVAL)
+            if result is not None:
+                yield result
 
     def _shutdown(self, force: bool) -> None:
         if force:

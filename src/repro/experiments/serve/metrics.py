@@ -1,0 +1,180 @@
+"""A minimal thread-safe metrics registry with Prometheus text output.
+
+The serve daemon needs exactly three primitives — monotone counters,
+point-in-time gauges (some computed at scrape time), and one bounded
+label family for per-job energy — so this implements just those against
+the Prometheus text exposition format 0.0.4 (``# HELP`` / ``# TYPE``
+headers, ``name{label="value"} 1.0`` samples) rather than pulling in a
+client library. Everything is guarded by one registry-wide lock;
+metric updates are a few dict operations, so contention is irrelevant
+next to cell runtimes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = ["Counter", "Gauge", "GaugeFamily", "MetricsRegistry"]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample formatting: integers without a trailing
+    ``.0`` would also be legal, but a single canonical float form keeps
+    scrape output byte-stable for tests."""
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+class Counter:
+    """A monotonically increasing sample."""
+
+    def __init__(self, name: str, help_text: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.kind = "counter"
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> list[str]:
+        return [f"{self.name} {_format_value(self.value)}"]
+
+
+class Gauge:
+    """A settable sample, optionally computed at scrape time via
+    ``fn`` (queue depth, uptime-derived rates)."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        lock: threading.Lock,
+        fn: Callable[[], float] | None = None,
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.kind = "gauge"
+        self._lock = lock
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name} is scrape-computed")
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+    def render(self) -> list[str]:
+        return [f"{self.name} {_format_value(self.value)}"]
+
+
+class GaugeFamily:
+    """A single-label gauge family with a hard series bound.
+
+    Label values are unbounded in principle (one per job id), so the
+    family keeps only the ``max_series`` most recently *created* series
+    and drops the oldest beyond that — Prometheus scrapes within the
+    window see every active job, and the registry can never grow
+    without bound on a long-lived daemon.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label: str,
+        lock: threading.Lock,
+        max_series: int = 64,
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.kind = "gauge"
+        self.label = label
+        self.max_series = max_series
+        self._lock = lock
+        self._series: dict[str, float] = {}
+
+    def set(self, label_value: str, value: float) -> None:
+        with self._lock:
+            self._series[label_value] = float(value)
+            while len(self._series) > self.max_series:
+                self._series.pop(next(iter(self._series)))
+
+    def render(self) -> list[str]:
+        with self._lock:
+            return [
+                f'{self.name}{{{self.label}="{_escape_label(key)}"}} '
+                f"{_format_value(value)}"
+                for key, value in self._series.items()
+            ]
+
+
+class MetricsRegistry:
+    """Ordered collection of metrics rendering to one scrape body."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: list[Counter | Gauge | GaugeFamily] = []
+        self._names: set[str] = set()
+
+    def _register(self, metric):
+        if metric.name in self._names:
+            raise ValueError(f"metric {metric.name!r} already registered")
+        self._names.add(metric.name)
+        self._metrics.append(metric)
+        return metric
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        return self._register(Counter(name, help_text, self._lock))
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        fn: Callable[[], float] | None = None,
+    ) -> Gauge:
+        return self._register(Gauge(name, help_text, self._lock, fn=fn))
+
+    def gauge_family(
+        self,
+        name: str,
+        help_text: str,
+        label: str,
+        max_series: int = 64,
+    ) -> GaugeFamily:
+        return self._register(
+            GaugeFamily(name, help_text, label, self._lock,
+                        max_series=max_series)
+        )
+
+    def render(self) -> str:
+        """The full scrape body in text exposition format 0.0.4."""
+        lines: list[str] = []
+        for metric in self._metrics:
+            lines.append(f"# HELP {metric.name} {metric.help_text}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

@@ -71,6 +71,8 @@ __all__ = [
     "seed_sweep",
     "compare_algorithms",
     "SweepRunStats",
+    "cell_data_coords",
+    "resolve_auto_jobs",
     "run_cell",
     "run_sweep",
     "sweep_result_from_artifacts",
@@ -193,8 +195,11 @@ class SweepRunStats:
     prepared exactly once per sweep.
 
     ``jobs_resolved`` is the worker count the sweep actually ran with
-    after resolving ``jobs="auto"`` against ``os.cpu_count()`` (1 for
-    a serial run — including the single-CPU fallback).
+    after resolving ``jobs="auto"`` (1 for a serial run — including the
+    single-CPU fallback); ``jobs_source`` records where that count came
+    from: ``"explicit"`` for a literal ``jobs=N``, else the
+    :func:`resolve_auto_jobs` source (``"sched_getaffinity"`` or
+    ``"cpu_count"``).
     """
 
     ran: list[PlanCell] = field(default_factory=list)
@@ -202,6 +207,22 @@ class SweepRunStats:
     resumed: list[PlanCell] = field(default_factory=list)
     prepped: list[tuple] = field(default_factory=list)
     jobs_resolved: int = 1
+    jobs_source: str = "explicit"
+
+
+def resolve_auto_jobs() -> tuple[int, str]:
+    """Resolve ``jobs="auto"`` to ``(worker_count, source)``.
+
+    Prefers the scheduler affinity mask — ``len(os.sched_getaffinity(
+    0))`` — which reflects cgroup cpusets and ``taskset`` restrictions
+    in containers, where ``os.cpu_count()`` reports the host's full
+    core count and over-subscribes the pool. Falls back to
+    ``os.cpu_count()`` on platforms without affinity support (macOS).
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0))), "sched_getaffinity"
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1), "cpu_count"
 
 
 def run_cell(
@@ -216,6 +237,7 @@ def run_cell(
     state_backend: str = "memory",
     round_hook: Callable | None = None,
     scenario_lookup: Callable | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> "tuple[ExperimentResult | AsyncExperimentResult, bool]":
     """Execute one plan cell and write its raw artifact.
 
@@ -251,6 +273,14 @@ def run_cell(
     (see :mod:`repro.simulation.state_store`) and likewise never
     changes any bit of the output.
 
+    ``progress`` is a pure observability hook, called as
+    ``progress(done, total)`` after every completed unit of work —
+    rounds for synchronous cells, events for async cells (``total =
+    total_rounds × n``) — so supervising processes (the serve daemon's
+    rounds/sec and events/sec accounting) can meter execution without
+    touching engine state. It must not mutate anything the engine
+    reads; it runs after ``round_hook``.
+
     Returns ``(result, resumed_from_checkpoint)``.
     """
     if preset.name != cell.preset:
@@ -272,6 +302,7 @@ def run_cell(
             checkpoint_every=checkpoint_every, vectorized=vectorized,
             node_shards=node_shards, state_backend=state_backend,
             round_hook=round_hook, scenario_lookup=scenario_lookup,
+            progress=progress,
         )
     if prepared is None:
         prepared = prepare(preset, cell.degree, seed=cell.seed)
@@ -284,7 +315,7 @@ def run_cell(
             engine, policy, cell, results_dir, prepared.trace,
             eval_every_rounds=preset.eval_every,
             checkpoint_every=checkpoint_every, vectorized=vectorized,
-            round_hook=round_hook,
+            round_hook=round_hook, progress=progress,
         )
     engine, algo = build_run(
         prepared,
@@ -296,7 +327,7 @@ def run_cell(
     return _execute_sync_cell(
         engine, algo, cell, results_dir, prepared.trace,
         checkpoint_every=checkpoint_every, vectorized=vectorized,
-        node_shards=node_shards, round_hook=round_hook,
+        node_shards=node_shards, round_hook=round_hook, progress=progress,
     )
 
 
@@ -312,6 +343,7 @@ def _run_scenario_cell(
     state_backend: str = "memory",
     round_hook: Callable | None,
     scenario_lookup: Callable | None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> "tuple[ExperimentResult | AsyncExperimentResult, bool]":
     """The ``cell.scenario`` execution path of :func:`run_cell`:
     compile the registered spec with the cell's seed/rounds, then run
@@ -367,13 +399,13 @@ def _run_scenario_cell(
             compiled.engine, compiled.algorithm, cell, results_dir,
             compiled.prepared.trace, eval_every_rounds=compiled.eval_every,
             checkpoint_every=checkpoint_every, vectorized=vectorized,
-            round_hook=round_hook,
+            round_hook=round_hook, progress=progress,
         )
     return _execute_sync_cell(
         compiled.engine, compiled.algorithm, cell, results_dir,
         compiled.prepared.trace, checkpoint_every=checkpoint_every,
         vectorized=vectorized, node_shards=node_shards,
-        round_hook=round_hook,
+        round_hook=round_hook, progress=progress,
     )
 
 
@@ -388,6 +420,7 @@ def _execute_sync_cell(
     vectorized: bool,
     node_shards: int = 1,
     round_hook: Callable | None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> tuple[ExperimentResult, bool]:
     """Run a wired sync engine through the checkpointed cell protocol:
     restore any mid-run checkpoint, run with periodic checkpointing at
@@ -416,6 +449,8 @@ def _execute_sync_cell(
             last_ckpt["round"] = t
         if round_hook is not None:
             round_hook(eng, t, hist, last_eval)
+        if progress is not None:
+            progress(t, cell.total_rounds)
 
     sharder = None
     try:
@@ -451,6 +486,7 @@ def _execute_async_cell(
     checkpoint_every: int,
     vectorized: bool = False,
     round_hook: Callable | None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> tuple[AsyncExperimentResult, bool]:
     """The ``kind="async"`` twin of :func:`_execute_sync_cell`. Any
     event boundary resumes exactly, so checkpoints need no alignment
@@ -479,6 +515,8 @@ def _execute_async_cell(
             last_ckpt["event"] = event
         if round_hook is not None:
             round_hook(eng, event, hist, event)
+        if progress is not None:
+            progress(event, total_events)
 
     try:
         history = engine.run(
@@ -586,10 +624,13 @@ def run_sweep(
     (Linux; presets and hooks need not be picklable) — elsewhere, run
     ``jobs=1`` per shard and split work with ``shard`` instead.
 
-    ``jobs="auto"`` resolves the worker count from ``os.cpu_count()``,
-    falling back to a serial run on a single-CPU box (or when the fork
-    start method is unavailable); the resolved value is recorded in
-    ``SweepRunStats.jobs_resolved``.
+    ``jobs="auto"`` resolves the worker count via
+    :func:`resolve_auto_jobs` — the scheduler affinity mask when the
+    platform has one (it respects cgroup cpusets, where
+    ``os.cpu_count()`` over-reports), else ``os.cpu_count()`` — falling
+    back to a serial run on a single-CPU box (or when the fork start
+    method is unavailable); the resolved value and its source are
+    recorded in ``SweepRunStats.jobs_resolved`` / ``.jobs_source``.
 
     ``node_shards > 1`` parallelizes *within* each synchronous cell
     instead of across cells (fleet-scale presets have few, huge cells);
@@ -600,8 +641,9 @@ def run_sweep(
     """
     if node_shards < 1:
         raise ValueError("node_shards must be >= 1")
+    jobs_source = "explicit"
     if jobs == "auto":
-        jobs = os.cpu_count() or 1
+        jobs, jobs_source = resolve_auto_jobs()
         if jobs > 1 and "fork" not in mp.get_all_start_methods():
             jobs = 1
     elif not isinstance(jobs, int):
@@ -628,7 +670,7 @@ def run_sweep(
         shard_cells(cells, index, count),
         key=lambda c: (c.preset, c.degree, c.seed),
     )
-    stats = SweepRunStats(jobs_resolved=jobs)
+    stats = SweepRunStats(jobs_resolved=jobs, jobs_source=jobs_source)
     say = log if log is not None else (lambda msg: None)
     if jobs > 1:
         backend = (
@@ -741,6 +783,34 @@ def _run_sweep_jobs(
     return stats
 
 
+def cell_data_coords(
+    cell: PlanCell,
+    *,
+    preset_lookup: Callable[[str], ExperimentPreset],
+    scenario_lookup: Callable | None = None,
+) -> tuple[tuple, ExperimentPreset, str | None, float | None]:
+    """``(data key, base preset, partition override, α)`` for one cell.
+
+    The shared-memory publication coordinate of the persistent pool:
+    two cells with the same key bind the exact same published dataset
+    segment. Scenario cells resolve their base preset and data-axis
+    override through :func:`~repro.scenarios.compile.scenario_base`;
+    plain cells key on (preset, seed) alone. The serve daemon uses the
+    same helper, which is what keeps a served cell's prepared data —
+    and therefore its artifact bytes — identical to its batch twin.
+    """
+    from ..scenarios.compile import scenario_base
+    from ..scenarios.registry import get_scenario
+
+    lookup = scenario_lookup if scenario_lookup is not None else get_scenario
+    if cell.scenario:
+        spec = lookup(cell.scenario)
+        base, _ = scenario_base(spec, preset_lookup(cell.preset))
+        key = (cell.preset, cell.seed, spec.data.partition, spec.data.alpha)
+        return key, base, spec.data.partition, spec.data.alpha
+    return (cell.preset, cell.seed, None, None), preset_lookup(cell.preset), None, None
+
+
 def _run_sweep_persistent(
     selected: list[PlanCell],
     results_dir: str | os.PathLike,
@@ -784,14 +854,9 @@ def _run_sweep_persistent(
         return stats
 
     def data_coords(cell: PlanCell) -> tuple[tuple, ExperimentPreset, str | None, float | None]:
-        """(data key, base preset, partition override, α) for one cell."""
-        if cell.scenario:
-            spec = lookup(cell.scenario)
-            base, _ = scenario_base(spec, preset_lookup(cell.preset))
-            key = (cell.preset, cell.seed, spec.data.partition, spec.data.alpha)
-            return key, base, spec.data.partition, spec.data.alpha
-        key = (cell.preset, cell.seed, None, None)
-        return key, preset_lookup(cell.preset), None, None
+        return cell_data_coords(
+            cell, preset_lookup=preset_lookup, scenario_lookup=lookup
+        )
 
     def run_one(cell, meta):
         # runs inside a forked worker: rebind the shared dataset, derive

@@ -6,6 +6,12 @@ Anything that can change a trajectory between two runs of the same seed
 banned where engine state is computed. Reporting/CLI layers are out of
 scope (printing a timestamp is harmless; feeding one into a gossip
 schedule is not).
+
+The wall-clock rule additionally covers the ``serve`` package: the
+daemon sits directly above the engine and promises byte-identical
+artifacts, so every real-clock read there must be an explicitly
+suppressed, justified call site (queueing timestamps and scrape-time
+rates — never anything a cell's trajectory derives from).
 """
 
 from __future__ import annotations
@@ -21,6 +27,10 @@ from ..rule import FileContext, Rule, register
 #: fixture trees scope exactly like src/repro)
 ENGINE_PACKAGES = frozenset({"simulation", "core", "scenarios", "nn"})
 
+#: the wall-clock rule alone also patrols the serving daemon, which
+#: must account for every real-time read it performs
+WALLCLOCK_PACKAGES = ENGINE_PACKAGES | {"serve"}
+
 _WALLCLOCK = frozenset({
     "time.time", "time.time_ns",
     "time.monotonic", "time.monotonic_ns",
@@ -34,7 +44,7 @@ _WALLCLOCK = frozenset({
 @register
 class WallClock(Rule):
     rule_id = "det-wallclock"
-    title = "no wall-clock/OS-entropy calls in engine packages"
+    title = "no wall-clock/OS-entropy calls in engine or serve packages"
     rationale = (
         "time.time/datetime.now/os.urandom values differ across runs, "
         "so any state derived from them breaks serial≡vectorized and "
@@ -42,7 +52,7 @@ class WallClock(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        if not ctx.in_packages(ENGINE_PACKAGES):
+        if not ctx.in_packages(WALLCLOCK_PACKAGES):
             return
         imports = ImportMap(ctx.tree)
         for node in ast.walk(ctx.tree):

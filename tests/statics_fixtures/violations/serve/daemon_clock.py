@@ -1,0 +1,13 @@
+"""Seeded violations: bare wall-clock reads inside a ``serve``
+package. The daemon promises byte-identical artifacts, so every real
+clock it touches must be an explicitly suppressed, justified call site
+— an unsuppressed read is a finding even though ``serve`` is not an
+engine package."""
+
+import time
+
+
+def stamp_arrival(job):
+    job["submitted_at"] = time.time()  # expect: det-wallclock
+    job["mono"] = time.monotonic()  # expect: det-wallclock
+    return job

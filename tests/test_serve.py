@@ -1,0 +1,467 @@
+"""Serve-daemon battery: job lifecycle over HTTP, byte identity with
+the batch sweep, Prometheus scrape format, backpressure (429) and
+duplicate (409) handling, drain semantics — plus the loadgen's
+deterministic schedules and an end-to-end open-loop run.
+
+Servers bind ``127.0.0.1:0`` (ephemeral ports) and run in-process with
+injected preset/scenario lookups, so the suite needs no network beyond
+loopback and no registry pollution. The one subprocess test drives
+``python -m repro serve`` with a registered preset and SIGTERM.
+"""
+
+import dataclasses
+import json
+import multiprocessing as mp
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import build_plan, run_sweep
+from repro.experiments.serve import (
+    ScenarioServer,
+    ServeConfig,
+    build_schedule,
+    parse_mix,
+    run_loadgen,
+)
+from repro.scenarios import AlgorithmSpec, DataSpec, ScenarioSpec
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="the serve daemon runs cells on the fork-based pool",
+)
+
+
+@pytest.fixture
+def serve_preset(tiny_preset):
+    return dataclasses.replace(tiny_preset, name="servetiny",
+                               total_rounds=8, eval_every=4)
+
+
+@pytest.fixture
+def serve_scenario():
+    return ScenarioSpec(
+        name="servesc",
+        preset="servetiny",
+        total_rounds=8,
+        eval_every=4,
+        data=DataSpec(partition="dirichlet", alpha=0.5),
+        algorithm=AlgorithmSpec(name="skiptrain"),
+    )
+
+
+def http(url, payload=None, timeout=30.0):
+    """One JSON round trip; returns (status, parsed body)."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method="POST" if data is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read() or b"null")
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"null")
+
+
+def wait_for_job(url, job_id, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while True:
+        status, body = http(f"{url}/jobs/{job_id}")
+        assert status == 200, (status, body)
+        if body["state"] in ("done", "failed"):
+            return body
+        assert time.monotonic() < deadline, f"{job_id} never finished"
+        time.sleep(0.05)
+
+
+@pytest.fixture
+def server(serve_preset, serve_scenario, tmp_path):
+    presets = {serve_preset.name: serve_preset}
+    scenarios = {serve_scenario.name: serve_scenario}
+    srv = ScenarioServer(
+        ServeConfig(results_dir=str(tmp_path / "served"), port=0, jobs=2),
+        preset_lookup=presets.__getitem__,
+        scenario_lookup=scenarios.__getitem__,
+    )
+    srv.start()
+    try:
+        yield srv
+    finally:
+        srv.begin_drain()
+        srv.close()
+
+
+PRESET_JOB = {
+    "preset": "servetiny", "algorithm": "d-psgd", "degree": 3,
+    "seeds": [0, 1], "rounds": 8,
+}
+
+
+class TestJobLifecycle:
+    def test_preset_job_runs_to_done(self, server):
+        status, job = http(f"{server.url}/jobs", PRESET_JOB)
+        assert status == 202
+        assert job["state"] == "queued"
+        assert job["cells_total"] == 2
+        body = wait_for_job(server.url, job["job_id"])
+        assert body["state"] == "done"
+        assert body["cells_done"] == 2
+        assert body["energy_wh"] > 0
+        assert body["started_at"] >= body["submitted_at"]
+        assert body["finished_at"] >= body["started_at"]
+        status, result = http(f"{server.url}/jobs/{job['job_id']}/result")
+        assert status == 200
+        assert len(result["cells"]) == 2
+        for cell in result["cells"]:
+            assert Path(cell["artifact"]).is_file()
+            assert "final_accuracy" in cell["results"]
+
+    def test_scenario_job_runs_to_done(self, server):
+        status, job = http(
+            f"{server.url}/jobs", {"scenario": "servesc", "seeds": [0]}
+        )
+        assert status == 202
+        body = wait_for_job(server.url, job["job_id"])
+        assert body["state"] == "done"
+        [cell] = body["cells"]
+        assert "servesc" in cell["cell_id"]
+
+    def test_inline_spec_job(self, server):
+        spec = {
+            "name": "inline-sc",
+            "preset": "servetiny",
+            "total_rounds": 8,
+            "eval_every": 4,
+            "algorithm": {"name": "d-psgd"},
+        }
+        status, job = http(
+            f"{server.url}/jobs", {"spec": spec, "seeds": [0]}
+        )
+        assert status == 202, job
+        body = wait_for_job(server.url, job["job_id"])
+        assert body["state"] == "done"
+        # a second inline spec reusing the name with different content
+        # is rejected; identical content is accepted
+        conflicting = dict(spec, total_rounds=6)
+        status, err = http(
+            f"{server.url}/jobs", {"spec": conflicting, "seeds": [1]}
+        )
+        assert status == 400
+        assert "inline-sc" in err["error"]
+
+    def test_result_while_running_is_202(self, server):
+        server.pause_dispatch.set()
+        try:
+            _, job = http(f"{server.url}/jobs", PRESET_JOB)
+            status, body = http(f"{server.url}/jobs/{job['job_id']}/result")
+            assert status == 202
+            assert body["state"] == "queued"
+        finally:
+            server.pause_dispatch.clear()
+        wait_for_job(server.url, job["job_id"])
+
+    def test_progress_is_reported(self, server):
+        _, job = http(f"{server.url}/jobs", PRESET_JOB)
+        body = wait_for_job(server.url, job["job_id"])
+        for cell in body["cells"]:
+            assert cell["state"] == "done"
+            assert cell["done_units"] == cell["total_units"] == 8
+
+
+class TestValidation:
+    def test_unknown_job_is_404(self, server):
+        assert http(f"{server.url}/jobs/job-999")[0] == 404
+        assert http(f"{server.url}/jobs/job-999/result")[0] == 404
+        assert http(f"{server.url}/nope")[0] == 404
+
+    @pytest.mark.parametrize("bad", [
+        {},  # no mode at all
+        {"preset": "servetiny"},  # missing algorithm/degree/seeds
+        {"preset": "nope", "algorithm": "d-psgd", "degree": 3, "seeds": [0]},
+        {"preset": "servetiny", "algorithm": "d-psgd", "degree": 7,
+         "seeds": [0]},  # degree not in preset
+        {"preset": "servetiny", "algorithm": "async-skiptrain", "degree": 3,
+         "kind": "sync", "seeds": [0]},  # async algorithm forced sync
+        {"preset": "servetiny", "algorithm": "d-psgd", "degree": 3,
+         "kind": "async", "seeds": [0]},  # sync algorithm forced async
+        {"scenario": "nope", "seeds": [0]},
+        {"scenario": "servesc", "preset": "servetiny", "algorithm": "d-psgd",
+         "degree": 3, "seeds": [0]},  # two modes at once
+        {"scenario": "servesc", "seeds": []},
+        {"scenario": "servesc", "seeds": [0, 0]},
+        {"scenario": "servesc", "seeds": [0], "rounds": 0},
+        {"scenario": "servesc", "seeds": [0], "bogus_key": 1},
+    ])
+    def test_bad_requests_are_400(self, server, bad):
+        status, body = http(f"{server.url}/jobs", bad)
+        assert status == 400, (bad, body)
+        assert body["error"]
+
+    def test_duplicate_in_flight_cell_is_409(self, server):
+        server.pause_dispatch.set()
+        try:
+            status, first = http(f"{server.url}/jobs", PRESET_JOB)
+            assert status == 202
+            status, err = http(f"{server.url}/jobs", PRESET_JOB)
+            assert status == 409
+            assert "already in flight" in err["error"]
+        finally:
+            server.pause_dispatch.clear()
+        wait_for_job(server.url, first["job_id"])
+        # once the first job finished, resubmission is fine (the cells
+        # are skip-finished against existing artifacts)
+        status, again = http(f"{server.url}/jobs", PRESET_JOB)
+        assert status == 202
+        assert wait_for_job(server.url, again["job_id"])["state"] == "done"
+
+
+class TestBackpressure:
+    def test_queue_overflow_is_429(self, serve_preset, serve_scenario,
+                                   tmp_path):
+        srv = ScenarioServer(
+            ServeConfig(results_dir=str(tmp_path / "served"), port=0,
+                        jobs=1, queue_limit=2),
+            preset_lookup={serve_preset.name: serve_preset}.__getitem__,
+            scenario_lookup={serve_scenario.name: serve_scenario}.__getitem__,
+        )
+        srv.start()
+        srv.pause_dispatch.set()
+        try:
+            status, first = http(
+                f"{srv.url}/jobs", {"scenario": "servesc", "seeds": [0, 1]}
+            )
+            assert status == 202
+            status, err = http(
+                f"{srv.url}/jobs", {"scenario": "servesc", "seeds": [2]}
+            )
+            assert status == 429
+            assert "queue" in err["error"]
+            scrape = urllib.request.urlopen(f"{srv.url}/metrics").read()
+            assert b"repro_serve_jobs_rejected_total 1.0" in scrape
+            srv.pause_dispatch.clear()
+            assert wait_for_job(srv.url, first["job_id"])["state"] == "done"
+            # capacity freed: the previously rejected job now fits
+            status, retry = http(
+                f"{srv.url}/jobs", {"scenario": "servesc", "seeds": [2]}
+            )
+            assert status == 202
+            assert wait_for_job(srv.url, retry["job_id"])["state"] == "done"
+        finally:
+            srv.begin_drain()
+            srv.close()
+
+
+class TestByteIdentity:
+    def test_served_artifacts_identical_to_batch_sweep(
+        self, server, serve_preset, serve_scenario, tmp_path
+    ):
+        """The tentpole contract: a served job's raw artifacts are
+        byte-for-byte what ``repro sweep`` writes for the same cells."""
+        _, preset_job = http(f"{server.url}/jobs", PRESET_JOB)
+        _, scenario_job = http(
+            f"{server.url}/jobs", {"scenario": "servesc", "seeds": [0]}
+        )
+        done = wait_for_job(server.url, preset_job["job_id"])
+        done_sc = wait_for_job(server.url, scenario_job["job_id"])
+        assert done["state"] == done_sc["state"] == "done"
+
+        from repro.scenarios.compile import build_scenario_plan
+
+        plan = build_plan(serve_preset, ("d-psgd",), degrees=(3,),
+                          seeds=(0, 1), total_rounds=8)
+        plan += build_scenario_plan(serve_scenario, seeds=(0,),
+                                    preset=serve_preset)
+        batch_dir = tmp_path / "batch"
+        run_sweep(
+            plan, batch_dir, jobs=1,
+            preset_lookup={serve_preset.name: serve_preset}.__getitem__,
+            scenario_lookup={
+                serve_scenario.name: serve_scenario
+            }.__getitem__,
+        )
+        served_raw = Path(server.config.results_dir) / "raw"
+        for cell in plan:
+            served = (served_raw / f"{cell.cell_id}.json").read_bytes()
+            batch = (batch_dir / "raw" / f"{cell.cell_id}.json").read_bytes()
+            assert served == batch, f"artifact differs for {cell.cell_id}"
+
+
+SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9.e+-]+(inf|nan)?$"
+)
+
+
+class TestMetrics:
+    def test_scrape_format_and_counters(self, server):
+        _, job = http(f"{server.url}/jobs", PRESET_JOB)
+        wait_for_job(server.url, job["job_id"])
+        with urllib.request.urlopen(f"{server.url}/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == (
+                "text/plain; version=0.0.4; charset=utf-8"
+            )
+            text = response.read().decode()
+        assert text.endswith("\n")
+        helped, typed, samples = set(), {}, {}
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                helped.add(line.split()[2])
+            elif line.startswith("# TYPE "):
+                _, _, name, kind = line.split()
+                typed[name] = kind
+            else:
+                assert SAMPLE.match(line), f"bad sample line: {line!r}"
+                name = line.split("{")[0].split(" ")[0]
+                base = name.split("{")[0]
+                assert base in helped and base in typed, (
+                    f"sample {base} missing HELP/TYPE"
+                )
+                samples[line.split(" ")[0]] = float(line.split(" ")[-1])
+        assert typed["repro_serve_jobs_accepted_total"] == "counter"
+        assert typed["repro_serve_queue_depth"] == "gauge"
+        assert samples["repro_serve_jobs_accepted_total"] == 1.0
+        assert samples["repro_serve_jobs_completed_total"] == 1.0
+        assert samples["repro_serve_cells_completed_total"] == 2.0
+        assert samples["repro_serve_rounds_total"] == 16.0
+        assert samples["repro_serve_energy_wh_total"] > 0
+        assert samples["repro_serve_workers"] == 2.0
+        assert samples["repro_serve_uptime_seconds"] > 0
+        job_sample = (
+            f'repro_serve_job_energy_wh{{job_id="{job["job_id"]}"}}'
+        )
+        assert job_sample in samples
+        assert samples[job_sample] > 0
+
+
+class TestDrain:
+    def test_drain_rejects_new_work_and_finishes_accepted(self, server):
+        _, job = http(f"{server.url}/jobs", PRESET_JOB)
+        server.begin_drain()
+        status, health = http(f"{server.url}/healthz")
+        assert (status, health["status"]) == (200, "draining")
+        status, err = http(
+            f"{server.url}/jobs", {"scenario": "servesc", "seeds": [5]}
+        )
+        assert status == 503
+        assert "drain" in err["error"]
+        server.wait(timeout=60)
+        assert http(f"{server.url}/jobs/{job['job_id']}")[1]["state"] == "done"
+
+    def test_sigterm_drains_subprocess(self, tmp_path):
+        """The shipped CLI end to end: start ``repro serve`` on an
+        ephemeral port, submit a real (registered-preset) job, SIGTERM
+        the daemon mid-service, and require a clean drain — exit code
+        0 with the job's artifact on disk."""
+        from repro.experiments.presets import get_preset
+
+        degree = get_preset("cifar10-bench").degrees[0]
+        results = tmp_path / "served"
+        src_root = str(Path(__file__).parents[1] / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--results-dir", str(results), "--jobs", "1"],
+            env=dict(os.environ, PYTHONPATH=src_root),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            url = None
+            deadline = time.monotonic() + 30
+            while url is None:
+                assert time.monotonic() < deadline, "daemon never came up"
+                line = proc.stdout.readline()
+                match = re.search(r"serving on (http://\S+)", line)
+                if match:
+                    url = match.group(1)
+            status, job = http(f"{url}/jobs", {
+                "preset": "cifar10-bench", "algorithm": "d-psgd",
+                "degree": degree, "seeds": [0], "rounds": 2,
+            })
+            assert status == 202, job
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        [artifact] = (results / "raw").glob("*.json")
+        assert json.loads(artifact.read_text())["results"]
+
+
+class TestLoadgen:
+    def test_parse_mix(self):
+        assert parse_mix(["a", "b=2.5"]) == [("a", 1.0), ("b", 2.5)]
+        with pytest.raises(ValueError):
+            parse_mix([])
+        with pytest.raises(ValueError):
+            parse_mix(["a=0"])
+        with pytest.raises(ValueError):
+            parse_mix(["=3"])
+
+    def test_schedule_is_deterministic(self):
+        mix = [("a", 1.0), ("b", 3.0)]
+        one = build_schedule(mix, process="poisson", rate=5.0, n_jobs=32,
+                             seed=11)
+        two = build_schedule(mix, process="poisson", rate=5.0, n_jobs=32,
+                             seed=11)
+        assert one == two
+        other = build_schedule(mix, process="poisson", rate=5.0, n_jobs=32,
+                               seed=12)
+        assert one != other
+        offsets = [event.offset_s for event in one]
+        assert offsets == sorted(offsets)
+        # the weighted mix is actually sampled, not round-robined
+        names = {event.scenario for event in one}
+        assert names == {"a", "b"}
+
+    def test_trace_replay_is_exact(self):
+        trace = [
+            {"offset_s": 0.0, "scenario": "a"},
+            {"offset_s": 0.5},
+            {"offset_s": 2.0, "scenario": "a"},
+        ]
+        schedule = build_schedule([("a", 1.0)], process="trace", trace=trace,
+                                  seed=3)
+        assert [event.offset_s for event in schedule] == [0.0, 0.5, 2.0]
+        assert all(event.scenario == "a" for event in schedule)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            build_schedule([("a", 1.0)], process="trace",
+                           trace=[{"offset_s": 1.0}, {"offset_s": 0.5}])
+        with pytest.raises(ValueError, match="outside"):
+            build_schedule([("a", 1.0)], process="trace",
+                           trace=[{"offset_s": 0.0, "scenario": "zzz"}])
+
+    def test_open_loop_run_against_server(self, server):
+        """End-to-end: a fast poisson schedule over the scenario mix,
+        every job completes, and the report carries the latency
+        decomposition the schema promises."""
+        schedule = build_schedule([("servesc", 1.0)], process="poisson",
+                                  rate=50.0, n_jobs=3, seed=5)
+        report = run_loadgen(
+            server.url, schedule, seeds_per_job=1, seed_base=100,
+            rounds=8, process="poisson", timeout_s=120.0,
+        )
+        assert report["schema"] == "repro/loadgen-report/v1"
+        summary = report["summary"]
+        assert summary["jobs_submitted"] == 3
+        assert summary["jobs_completed"] == 3
+        assert summary["jobs_failed"] == 0
+        assert summary["throughput_jobs_per_s"] > 0
+        for record in report["jobs"]:
+            assert record["state"] == "done"
+            assert record["total_s"] > 0
+            assert record["queue_wait_s"] >= 0
+            assert record["run_s"] > 0
+        # disjoint seed blocks: no two jobs share a cell
+        all_seeds = [s for r in report["jobs"] for s in r["seeds"]]
+        assert len(all_seeds) == len(set(all_seeds))

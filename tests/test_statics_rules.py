@@ -113,6 +113,41 @@ def test_determinism_rules_scope_by_directory(tmp_path):
     assert check_paths([outside], tmp_path).findings == []
 
 
+def test_wallclock_rule_patrols_serve_but_other_det_rules_do_not(tmp_path):
+    """``det-wallclock`` alone extends to ``serve`` directories — the
+    daemon must justify every real-clock read — while id-order and
+    set-iteration stay engine-only there."""
+    clock_src = (VIOLATIONS / "serve" / "daemon_clock.py").read_text()
+    in_serve = tmp_path / "serve" / "clock.py"
+    in_serve.parent.mkdir()
+    in_serve.write_text(clock_src)
+    assert {f.rule for f in check_paths([in_serve], tmp_path).findings} == {
+        "det-wallclock"
+    }
+    set_src = (VIOLATIONS / "simulation" / "set_iter.py").read_text()
+    set_in_serve = tmp_path / "serve" / "sets.py"
+    set_in_serve.write_text(set_src)
+    det = ["det-wallclock", "det-id-order", "det-set-iter"]
+    assert check_paths([set_in_serve], tmp_path, select=det).findings == []
+
+
+def test_shipped_serve_package_accounts_for_every_clock_read():
+    """The real serve package passes ``det-wallclock`` with only
+    justified suppressions — every wall-clock read it performs is an
+    explicit, reasoned call site."""
+    import repro.experiments.serve as serve_pkg
+
+    serve_dir = Path(serve_pkg.__file__).parent
+    src_root = serve_dir.parents[3]
+    result = check_paths([serve_dir], root=src_root,
+                         select=["det-wallclock"])
+    assert result.findings == []
+    assert result.suppressed, "expected justified wall-clock suppressions"
+    for finding, sup in result.suppressed:
+        assert finding.rule == "det-wallclock"
+        assert sup.reason
+
+
 def test_default_rng_allowed_only_in_simulation_rng(tmp_path):
     src = "import numpy as np\nGEN = np.random.default_rng(7)\n"
     allowed = tmp_path / "simulation" / "rng.py"

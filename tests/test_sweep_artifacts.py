@@ -230,21 +230,25 @@ class TestSweepExecution:
             run_sweep(plan, tmp_path, jobs="many",
                       preset_lookup=lookup_for(micro_preset))
 
-    def test_jobs_auto_resolves_cpu_count(self, micro_preset, tmp_path,
-                                          monkeypatch):
-        """``jobs="auto"`` resolves via os.cpu_count() and records the
-        resolved value; a single-CPU box falls back to a serial run."""
+    def test_jobs_auto_resolves_affinity(self, micro_preset, tmp_path,
+                                         monkeypatch):
+        """``jobs="auto"`` resolves via the scheduler affinity mask and
+        records the resolved value; a single-CPU box falls back to a
+        serial run."""
         import repro.experiments.sweep as sweep_mod
 
         plan = build_plan(micro_preset, ("skiptrain",), seeds=(0, 1))
-        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(sweep_mod.os, "sched_getaffinity",
+                            lambda pid: {0}, raising=False)
         stats = run_sweep(plan, tmp_path / "serial", jobs="auto",
                           preset_lookup=lookup_for(micro_preset))
         assert stats.jobs_resolved == 1
+        assert stats.jobs_source == "sched_getaffinity"
         assert len(stats.ran) == 2
         assert not stats.prepped  # serial path: no pool, no shared mem
 
-        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 2)
+        monkeypatch.setattr(sweep_mod.os, "sched_getaffinity",
+                            lambda pid: {0, 1}, raising=False)
         stats = run_sweep(plan, tmp_path / "pooled", jobs="auto",
                           preset_lookup=lookup_for(micro_preset))
         assert stats.jobs_resolved == 2

@@ -344,6 +344,166 @@ class TestLegacyForkBackendConformance:
         assert_trees_identical(plan, serial, forked)
 
 
+class TestKilledWorkerLiveness:
+    """Regression battery for the silent-death liveness bug: the old
+    pool only noticed a hard-killed worker once *every* worker had
+    exited, so one SIGKILL with siblings still alive hung ``run`` until
+    the queue drained (or forever, with outstanding work). The fixed
+    pool attributes each in-flight cell to its worker via ``start``
+    messages and must raise within about one liveness poll."""
+
+    @staticmethod
+    def _cells(n):
+        from repro.experiments.artifacts import PlanCell
+
+        return [
+            PlanCell(preset="micro", algorithm="d-psgd", degree=3,
+                     seed=seed, total_rounds=1, kind="sync")
+            for seed in range(n)
+        ]
+
+    @staticmethod
+    def _kill_when_started(pid_file, deadline_s=10.0):
+        import signal
+        import time
+
+        deadline = time.monotonic() + deadline_s
+        while not pid_file.is_file():
+            assert time.monotonic() < deadline, "victim cell never started"
+            time.sleep(0.02)
+        os.kill(int(pid_file.read_text()), signal.SIGKILL)
+
+    def test_sigkilled_worker_fails_fast_naming_the_cell(self, tmp_path):
+        """SIGKILL one of two workers mid-cell: ``PoolWorkerError``
+        names the lost cell and arrives within a few poll intervals
+        (expected ~2×POLL_INTERVAL; the bound is generous for slow
+        CI), not after the surviving worker drains the queue."""
+        import time
+
+        from repro.experiments.pool import PersistentPool
+
+        cells = self._cells(4)
+        victim_id = cells[0].cell_id
+
+        def run_one(cell):
+            (tmp_path / f"{cell.cell_id}.pid").write_text(str(os.getpid()))
+            if cell.cell_id == victim_id:
+                time.sleep(120)  # hold the cell until SIGKILLed
+            return False
+
+        with PersistentPool(2, run_one) as pool:
+            for cell in cells:
+                pool.submit((cell,))
+            pool.close_intake()
+            self._kill_when_started(tmp_path / f"{victim_id}.pid")
+            started = time.monotonic()
+            with pytest.raises(PoolWorkerError) as err:
+                while pool.outstanding:
+                    pool.next_result()
+            elapsed = time.monotonic() - started
+        assert err.value.cell_id == victim_id
+        assert victim_id in str(err.value)
+        assert "died without reporting" in str(err.value)
+        assert elapsed < 20 * PersistentPool.POLL_INTERVAL, (
+            f"liveness detection took {elapsed:.1f}s — the old "
+            f"all-dead-only check is back"
+        )
+
+    def test_revive_restores_capacity_after_a_kill(self, tmp_path):
+        """The streaming supervisor path: after handling the error,
+        ``revive()`` respawns the dead worker and later submissions
+        complete normally — one murdered cell does not poison the
+        pool."""
+        import time
+
+        from repro.experiments.pool import PersistentPool
+
+        victim, survivor = self._cells(2)
+
+        def run_one(cell):
+            (tmp_path / f"{cell.cell_id}.pid").write_text(str(os.getpid()))
+            if cell.cell_id == victim.cell_id:
+                time.sleep(120)
+            return False
+
+        with PersistentPool(1, run_one) as pool:
+            pool.submit((victim,))
+            self._kill_when_started(tmp_path / f"{victim.cell_id}.pid")
+            with pytest.raises(PoolWorkerError):
+                while True:
+                    pool.next_result()
+            assert pool.workers_alive == 0
+            assert pool.revive() == 1
+            pool.submit((survivor,))
+            pool.close_intake()
+            results = []
+            while pool.outstanding:
+                result = pool.next_result()
+                if result is not None:
+                    results.append(result)
+        assert [cell_id for cell_id, _ in results] == [survivor.cell_id]
+
+
+class TestAutoJobs:
+    """``jobs="auto"`` sizing: the scheduler affinity mask (what a
+    cgroup-limited container may actually use) wins over
+    ``os.cpu_count()`` (which reports the whole machine)."""
+
+    def test_prefers_affinity_mask(self):
+        from repro.experiments.sweep import resolve_auto_jobs
+
+        count, source = resolve_auto_jobs()
+        assert source == "sched_getaffinity"
+        assert count == max(1, len(os.sched_getaffinity(0)))
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        from repro.experiments import sweep
+
+        monkeypatch.delattr(os, "sched_getaffinity")
+        count, source = sweep.resolve_auto_jobs()
+        assert source == "cpu_count"
+        assert count == max(1, os.cpu_count() or 1)
+
+    def test_affinity_restricted_subprocess_sees_its_mask(self):
+        """Pin a child to CPU 0 only: auto sizing must report 1 from
+        the mask, regardless of how many CPUs the machine has."""
+        import subprocess
+        import sys
+
+        import repro
+
+        src_root = str(Path(repro.__file__).parents[1])
+        code = (
+            "import os; os.sched_setaffinity(0, {0}); "
+            "from repro.experiments.sweep import resolve_auto_jobs; "
+            "print(resolve_auto_jobs())"
+        )
+        env = dict(os.environ, PYTHONPATH=src_root)
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        assert out == "(1, 'sched_getaffinity')"
+
+    def test_run_sweep_records_jobs_source(
+        self, micro_preset, tmp_path, monkeypatch
+    ):
+        from repro.experiments import sweep
+
+        plan = build_plan(micro_preset, ("d-psgd",), degrees=(3,),
+                          seeds=(0,))
+        stats = run_sweep(plan, tmp_path / "explicit", jobs=1,
+                          preset_lookup=lookup_for(micro_preset))
+        assert stats.jobs_source == "explicit"
+        monkeypatch.setattr(
+            sweep, "resolve_auto_jobs", lambda: (2, "sched_getaffinity")
+        )
+        stats = run_sweep(plan, tmp_path / "auto", jobs="auto",
+                          preset_lookup=lookup_for(micro_preset))
+        assert stats.jobs_resolved == 2
+        assert stats.jobs_source == "sched_getaffinity"
+
+
 def test_os_cpu_note():
     """Not an assertion — documents that byte-identity tests above are
     scheduling-independent: they pass on 1 CPU (where workers simply
